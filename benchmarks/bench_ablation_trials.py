@@ -1,0 +1,49 @@
+"""Ablation — routing-trial budget vs solution quality (paper Section VI-C).
+
+The paper argues that transpiler speed matters because it buys more
+independent trials, which buys solution quality.  This bench sweeps the
+layout-trial budget for MIRAGE on one circuit and checks that quality is
+monotone (non-increasing depth) in the budget.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.library import benchmark_circuit
+from repro.core import transpile
+from repro.transpiler import square_lattice_topology
+
+BUDGETS = (1, 2, 4)
+
+
+def test_ablation_trial_budget(benchmark, sqrt_iswap_coverage):
+    circuit = benchmark_circuit("seca")
+    lattice = square_lattice_topology(4)
+
+    def run():
+        depths = {}
+        for budget in BUDGETS:
+            result = transpile(circuit, lattice, method="mirage", selection="depth",
+                               layout_trials=budget, use_vf2=False, seed=21,
+                               coverage=sqrt_iswap_coverage)
+            depths[budget] = result.metrics.depth
+        return depths
+
+    depths = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[ablation] layout trials -> depth:", depths)
+    assert depths[max(BUDGETS)] <= depths[min(BUDGETS)] + 1e-9
+
+
+def test_ablation_cache_speedup(benchmark, sqrt_iswap_coverage):
+    """Cost-lookup caching ablation (paper Fig. 13a)."""
+    from repro.weyl import CNOT_COORD
+
+    def run():
+        sqrt_iswap_coverage.clear_cache()
+        for _ in range(2000):
+            sqrt_iswap_coverage.cost_of(CNOT_COORD)
+        return sqrt_iswap_coverage.cache_info()
+
+    info = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[ablation] coverage cost cache:", info)
+    assert info["hits"] == 1999
+    assert info["misses"] == 1

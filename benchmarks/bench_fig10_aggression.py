@@ -1,0 +1,49 @@
+"""Fig. 10 — fixed aggression levels vs Qiskit on representative circuits.
+
+The paper shows that no single aggression level wins on every circuit,
+motivating the mixed 5/45/45/5 schedule.  A reduced-size version of the
+circuits is used to keep the pure-Python bench fast; the shape of the
+result (every level beats or ties the baseline, and the best level differs
+per circuit) is what is being reproduced.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.library import benchmark_circuit
+from repro.core import transpile
+from repro.transpiler import square_lattice_topology
+
+CIRCUITS = {
+    "wstate": benchmark_circuit("wstate", 10),
+    "bigadder": benchmark_circuit("bigadder", 11),
+    "qft": benchmark_circuit("qft", 8),
+    "bv": benchmark_circuit("bv", 12),
+}
+LATTICE = square_lattice_topology(4)
+
+
+def test_fig10_aggression_levels(benchmark, sqrt_iswap_coverage):
+    def run():
+        table: dict[str, dict[str, float]] = {}
+        for name, circuit in CIRCUITS.items():
+            row = {}
+            baseline = transpile(circuit, LATTICE, method="sabre", selection="swaps",
+                                 layout_trials=2, use_vf2=False, seed=9,
+                                 coverage=sqrt_iswap_coverage)
+            row["qiskit"] = baseline.metrics.depth
+            for level in range(4):
+                result = transpile(circuit, LATTICE, method="mirage", selection="depth",
+                                   aggression=level, layout_trials=2, use_vf2=False,
+                                   seed=9, coverage=sqrt_iswap_coverage)
+                row[f"a{level}"] = result.metrics.depth
+            table[name] = row
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[fig10] average depth by aggression level (reduced-size circuits)")
+    header = ["circuit", "qiskit", "a0", "a1", "a2", "a3"]
+    print("  " + "  ".join(f"{h:>9}" for h in header))
+    for name, row in table.items():
+        print("  " + f"{name:>9}  " + "  ".join(f"{row[k]:>9.1f}" for k in header[1:]))
+        best_mirage = min(row[f"a{level}"] for level in range(4))
+        assert best_mirage <= row["qiskit"] + 1e-9

@@ -1,0 +1,50 @@
+"""Fig. 4 — coverage of the cube and fourth roots of iSWAP at k = 2,
+and the maximum depth needed for full coverage with and without mirrors.
+
+Paper observations: both fractional gates gain substantial k=2 coverage from
+mirrors, and the fourth root's worst-case depth drops from k=6 to k=4 when
+mirroring is allowed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def test_fig4_fractional_iswap_coverage(benchmark, coverage_sets, haar_samples):
+    def run():
+        rows = {}
+        for basis in ("iswap_1_3", "iswap_1_4"):
+            exact = coverage_sets[(basis, False)].polytope_for_depth(2).haar_volume(
+                haar_samples
+            )
+            mirrored = coverage_sets[(basis, True)].polytope_for_depth(2).haar_volume(
+                haar_samples
+            )
+            rows[basis] = (exact, mirrored)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for basis, (exact, mirrored) in rows.items():
+        print(f"[fig4] {basis} k=2 coverage: exact={exact:.3f}, mirror={mirrored:.3f}")
+        assert mirrored >= exact
+
+
+def test_fig4_mirror_reduces_worst_case_depth(benchmark, coverage_sets, haar_samples):
+    def run():
+        exact = coverage_sets[("iswap_1_4", False)]
+        mirrored = coverage_sets[("iswap_1_4", True)]
+        exact_costs = np.array([exact.cost_of(row) for row in haar_samples[:800]])
+        mirror_costs = np.array([mirrored.cost_of(row) for row in haar_samples[:800]])
+        return exact_costs, mirror_costs
+
+    exact_costs, mirror_costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    exact_depth = exact_costs.max() / 0.25
+    mirror_depth_p99 = np.quantile(mirror_costs, 0.99) / 0.25
+    print(
+        f"\n[fig4] 4th-root iSWAP worst-case depth: exact k={exact_depth:.0f} "
+        f"(paper 6), mirror p99 k={mirror_depth_p99:.0f} (paper <= 4)"
+    )
+    assert exact_depth >= 5
+    assert mirror_depth_p99 <= exact_depth

@@ -1,0 +1,36 @@
+"""Fig. 5 — Monte-Carlo convergence of the 4th-root-iSWAP Haar score.
+
+Four strategies (exact, approximate, each +/- mirrors) on a shared Haar
+stream; the running means must be ordered exact >= approximate >=
+approximate+mirrors, with exact+mirrors between.
+"""
+
+from __future__ import annotations
+
+from repro.fidelity import strategy_comparison
+
+
+def test_fig5_convergence_traces(benchmark, coverage_sets):
+    exact = coverage_sets[("iswap_1_4", False)]
+    mirrored = coverage_sets[("iswap_1_4", True)]
+
+    def run():
+        return strategy_comparison(exact, mirrored, num_samples=300, seed=2024)
+
+    strategies = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[fig5] final running-mean Haar scores (4th root of iSWAP):")
+    for name, result in strategies.items():
+        trace = result.running_mean()
+        print(f"  {name:<20} {trace[-1]:.4f}")
+    assert (
+        strategies["approximate+mirrors"].haar_score
+        <= strategies["approximate"].haar_score + 1e-9
+    )
+    assert (
+        strategies["exact+mirrors"].haar_score
+        <= strategies["exact"].haar_score + 1e-9
+    )
+    assert (
+        strategies["approximate"].haar_score
+        <= strategies["exact"].haar_score + 1e-9
+    )

@@ -1,0 +1,45 @@
+"""Fig. 6 — the CPHASE family mirrors into the pSWAP family.
+
+Every CPHASE(theta) lies inside the sqrt(iSWAP) k=2 coverage region, while
+its mirror (a parametric SWAP) generally does not — mirroring a CPHASE is
+only worthwhile when it saves a SWAP, not for decomposition cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.weyl import PI4, cphase_coordinate, mirror_coordinate
+
+
+def test_fig6_cphase_mirrors_to_pswap(benchmark, sqrt_iswap_coverage):
+    thetas = np.linspace(0.15, np.pi, 12)
+
+    def run():
+        rows = []
+        for theta in thetas:
+            original = cphase_coordinate(theta).to_tuple()
+            mirrored = mirror_coordinate(original)
+            rows.append(
+                (
+                    theta,
+                    sqrt_iswap_coverage.cost_of(original),
+                    sqrt_iswap_coverage.cost_of(mirrored),
+                    mirrored,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[fig6] theta, CPHASE cost, mirrored (pSWAP) cost")
+    for theta, cost, mirror_cost, mirrored in rows:
+        print(f"  {theta:5.2f}  {cost:.2f}  {mirror_cost:.2f}")
+        # The mirror of every CPHASE sits on the pSWAP edge (a = b = pi/4).
+        assert np.isclose(mirrored[0], PI4, atol=1e-7)
+        assert np.isclose(mirrored[1], PI4, atol=1e-7)
+        # CPHASE gates fit in k=2; their mirrors need at least as many pulses.
+        assert cost <= 1.0 + 1e-9
+        assert mirror_cost >= cost - 1e-9
+    # A generic pSWAP needs k=3 in the sqrt(iSWAP) basis.
+    generic = [row for row in rows if 0.5 < row[0] < np.pi - 0.5]
+    assert all(row[2] >= 1.5 - 1e-9 for row in generic)

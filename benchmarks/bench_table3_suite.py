@@ -1,0 +1,25 @@
+"""Table III — benchmark-suite inventory (name, qubits, 2Q gates, class)."""
+
+from __future__ import annotations
+
+from repro.circuits.library.suite import suite_inventory
+
+PAPER_QUBITS = {
+    "wstate": 27, "qftentangled": 16, "qpeexact": 16, "ae": 16, "qft": 18,
+    "bv": 30, "multiplier": 15, "bigadder": 18, "qec9xz": 17, "seca": 11,
+    "qram": 20, "sat": 11, "portfolioqaoa": 16, "knn": 25, "swap_test": 25,
+}
+
+
+def test_table3_suite_inventory(benchmark):
+    rows = benchmark.pedantic(suite_inventory, rounds=1, iterations=1)
+    print("\n[table3] name, qubits, 2Q gates, class")
+    for row in rows:
+        print(f"  {row['name']:<20} {row['qubits']:>3} {row['two_qubit_gates']:>5}  {row['class']}")
+    assert len(rows) == len(PAPER_QUBITS)
+    for row in rows:
+        base_name = row["name"].split("_n")[0]
+        assert base_name in PAPER_QUBITS
+        # Qubit counts match the paper within the generator's register rounding.
+        assert abs(row["qubits"] - PAPER_QUBITS[base_name]) <= 1
+        assert row["two_qubit_gates"] > 0

@@ -1,0 +1,50 @@
+"""Route a subset of the Table III suite on heavy-hex and square lattices.
+
+A smaller-budget version of the paper's Fig. 12 experiment (use
+``--full`` to run every circuit; expect a long runtime in pure Python).
+"""
+
+import argparse
+
+from repro.circuits.library import benchmark_suite
+from repro.core import compare_methods
+from repro.transpiler import heavy_hex_topology, square_lattice_topology
+
+QUICK_SUBSET = ["seca", "bigadder", "qec9xz", "sat"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run all 15 circuits")
+    parser.add_argument("--trials", type=int, default=2, help="layout trials per method")
+    args = parser.parse_args()
+
+    circuits = benchmark_suite(None if args.full else QUICK_SUBSET)
+    topologies = {
+        "heavy-hex-57": heavy_hex_topology(57),
+        "square-6x6": square_lattice_topology(6),
+    }
+
+    for topo_name, topology in topologies.items():
+        print(f"\n=== {topo_name} ===")
+        print(f"{'circuit':<18} {'sabre depth':>12} {'mirage depth':>13} "
+              f"{'depth gain':>11} {'swap gain':>10}")
+        for circuit in circuits:
+            results = compare_methods(
+                circuit, topology, layout_trials=args.trials, seed=11,
+                selections=("depth",),
+            )
+            sabre = results["sabre"].metrics
+            mirage = results["mirage-depth"].metrics
+            depth_gain = (sabre.depth - mirage.depth) / sabre.depth if sabre.depth else 0
+            swap_gain = (
+                (sabre.swap_count - mirage.swap_count) / sabre.swap_count
+                if sabre.swap_count
+                else 0
+            )
+            print(f"{circuit.name:<18} {sabre.depth:>12.1f} {mirage.depth:>13.1f} "
+                  f"{depth_gain:>10.1%} {swap_gain:>9.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Quickstart: transpile a QFT circuit with MIRAGE vs. the SABRE baseline.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro.circuits.library import qft
+from repro.core import compare_methods
+from repro.transpiler import square_lattice_topology
+
+
+def main() -> None:
+    circuit = qft(8)
+    lattice = square_lattice_topology(3)  # 3x3 square lattice, 9 qubits
+    print(f"input: {circuit.name}, {circuit.num_qubits} qubits, "
+          f"{circuit.num_two_qubit_gates()} two-qubit gates")
+
+    results = compare_methods(circuit, lattice, layout_trials=3, seed=7)
+    print(f"{'method':<14} {'depth':>8} {'2Q cost':>8} {'swaps':>6} {'mirrors':>8}")
+    for name, result in results.items():
+        metrics = result.metrics
+        print(
+            f"{name:<14} {metrics.depth:>8.2f} {metrics.total_cost:>8.2f} "
+            f"{result.swaps_added:>6} {result.mirrors_accepted:>8}"
+        )
+
+    baseline = results["sabre"].metrics.depth
+    best = results["mirage-depth"].metrics.depth
+    print(f"\nMIRAGE depth reduction vs SABRE: {(baseline - best) / baseline:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Paper Fig. 8 scenario: a fully entangling TwoLocal ansatz on a 4-qubit line.
+
+The baseline needs three SWAP gates (16 sqrt(iSWAP) pulses); MIRAGE absorbs
+every SWAP into mirror gates and finishes in 10 pulses.
+"""
+
+from repro.circuits.library import twolocal_full
+from repro.core import transpile
+from repro.transpiler import line_topology
+
+
+def main() -> None:
+    circuit = twolocal_full(4)
+    line = line_topology(4)
+
+    sabre = transpile(circuit, line, method="sabre", selection="swaps",
+                      layout_trials=4, use_vf2=False, seed=3)
+    mirage = transpile(circuit, line, method="mirage", selection="depth",
+                       layout_trials=4, use_vf2=False, seed=3)
+
+    for name, result in (("Qiskit-style SABRE", sabre), ("MIRAGE", mirage)):
+        pulses = result.metrics.depth / 0.5  # sqrt(iSWAP) pulses on the critical path
+        print(f"{name:<20} depth={result.metrics.depth:5.2f} pulse-units "
+              f"(~{pulses:.0f} sqrt(iSWAP) pulses), swaps={result.swaps_added}, "
+              f"mirrors={result.mirrors_accepted}")
+    print("\npaper Fig. 8: baseline 16 pulses with 3 SWAPs, MIRAGE 10 pulses with 0 SWAPs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Benchmark circuit generators (paper Table III plus helpers).
+
+Each generator reproduces the algorithmic structure (and approximate
+two-qubit gate count) of the QASMBench / MQTBench circuit the paper uses;
+the exact gate-for-gate content of those suites is not required for the
+relative routing comparisons the paper reports.
+"""
+
+from repro.circuits.library.amplitude_estimation import amplitude_estimation
+from repro.circuits.library.arithmetic import bigadder, cuccaro_adder, multiplier
+from repro.circuits.library.error_correction import qec9xz, seca
+from repro.circuits.library.hidden_subgroup import bernstein_vazirani, qft, qft_entangled, qpe_exact
+from repro.circuits.library.memory import qram
+from repro.circuits.library.ml import knn, portfolio_qaoa, sat, swap_test
+from repro.circuits.library.qaoa import qaoa_maxcut
+from repro.circuits.library.states import ghz, wstate
+from repro.circuits.library.twolocal import efficient_su2, twolocal_full
+from repro.circuits.library.suite import TABLE_III_SUITE, benchmark_circuit, benchmark_suite
+
+__all__ = [
+    "amplitude_estimation",
+    "bigadder",
+    "cuccaro_adder",
+    "multiplier",
+    "qec9xz",
+    "seca",
+    "bernstein_vazirani",
+    "qft",
+    "qft_entangled",
+    "qpe_exact",
+    "qram",
+    "knn",
+    "portfolio_qaoa",
+    "sat",
+    "swap_test",
+    "qaoa_maxcut",
+    "ghz",
+    "wstate",
+    "efficient_su2",
+    "twolocal_full",
+    "TABLE_III_SUITE",
+    "benchmark_circuit",
+    "benchmark_suite",
+]

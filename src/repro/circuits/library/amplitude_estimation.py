@@ -1,0 +1,35 @@
+"""Amplitude-estimation benchmark (MQTBench ``ae``)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library.hidden_subgroup import qft
+
+
+def amplitude_estimation(num_qubits: int = 16, probability: float = 0.2) -> QuantumCircuit:
+    """Canonical (QPE-based) amplitude estimation.
+
+    One state qubit carries the Bernoulli amplitude ``sqrt(probability)``;
+    the remaining qubits form the evaluation register running phase
+    estimation of the Grover operator, which reduces to controlled-Y
+    rotations by doubled angles plus an inverse QFT.
+    """
+    if num_qubits < 3:
+        raise ValueError("amplitude estimation needs at least three qubits")
+    evaluation = num_qubits - 1
+    state = num_qubits - 1  # last qubit is the state register
+    theta = 2 * math.asin(math.sqrt(probability))
+
+    circuit = QuantumCircuit(num_qubits, name=f"ae_n{num_qubits}")
+    circuit.ry(theta, state)
+    for qubit in range(evaluation):
+        circuit.h(qubit)
+    for qubit in range(evaluation):
+        # Controlled Grover power: rotation angle doubles per counting qubit.
+        circuit.cry(theta * (2 ** (qubit + 1)), qubit, state)
+        circuit.cp(math.pi / (2 ** (evaluation - qubit)), qubit, state)
+    inverse_qft = qft(evaluation, do_swaps=True).inverse()
+    circuit = circuit.compose(inverse_qft, qubits=list(range(evaluation)))
+    return circuit.copy(name=f"ae_n{num_qubits}")

@@ -1,0 +1,81 @@
+"""Arithmetic benchmarks: ripple-carry adders and a shift-and-add multiplier."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def cuccaro_adder(num_bits: int) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder on two ``num_bits`` registers.
+
+    Register layout: ``a`` bits at even indices, ``b`` bits at odd indices,
+    one carry ancilla at the end (``2 * num_bits + 1`` qubits total) —
+    compact enough to mirror the QASMBench adders' interaction structure.
+    """
+    num_qubits = 2 * num_bits + 1
+    circuit = QuantumCircuit(num_qubits, name=f"adder_n{num_qubits}")
+    a = [2 * i for i in range(num_bits)]
+    b = [2 * i + 1 for i in range(num_bits)]
+    carry = num_qubits - 1
+
+    # Prepare a nontrivial input so the circuit is not all-identity.
+    for qubit in a[::2]:
+        circuit.x(qubit)
+    for qubit in b[1::2]:
+        circuit.x(qubit)
+
+    # MAJ cascade.
+    previous = carry
+    for bit in range(num_bits):
+        circuit.cx(a[bit], b[bit])
+        circuit.cx(a[bit], previous)
+        circuit.ccx(previous, b[bit], a[bit])
+        previous = a[bit]
+    # UMA cascade (reverse).
+    for bit in reversed(range(num_bits)):
+        previous = carry if bit == 0 else a[bit - 1]
+        circuit.ccx(previous, b[bit], a[bit])
+        circuit.cx(a[bit], previous)
+        circuit.cx(previous, b[bit])
+    return circuit
+
+
+def bigadder(num_qubits: int = 18) -> QuantumCircuit:
+    """QASMBench ``bigadder``-style ripple-carry adder sized to ``num_qubits``."""
+    num_bits = max(1, (num_qubits - 1) // 2)
+    circuit = cuccaro_adder(num_bits)
+    circuit.name = f"bigadder_n{circuit.num_qubits}"
+    return circuit
+
+
+def multiplier(num_qubits: int = 15) -> QuantumCircuit:
+    """Shift-and-add multiplier (QASMBench ``multiplier``-style).
+
+    Registers: ``x`` (n bits), ``y`` (n bits), product accumulator (n bits)
+    with controlled additions of ``y`` into the accumulator for every bit of
+    ``x``; Toffoli-heavy, matching the arithmetic class of the suite.
+    """
+    bits = max(1, num_qubits // 3)
+    total = 3 * bits
+    circuit = QuantumCircuit(total, name=f"multiplier_n{total}")
+    x = list(range(bits))
+    y = list(range(bits, 2 * bits))
+    accumulator = list(range(2 * bits, 3 * bits))
+
+    for qubit in x[::2]:
+        circuit.x(qubit)
+    for qubit in y[1::2]:
+        circuit.x(qubit)
+
+    for i, control in enumerate(x):
+        # Controlled (by x_i) addition of y shifted by i into the accumulator.
+        for j, source in enumerate(y):
+            target_index = i + j
+            if target_index >= bits:
+                continue
+            target = accumulator[target_index]
+            circuit.ccx(control, source, target)
+            # Carry propagation approximation: couple to the next accumulator bit.
+            if target_index + 1 < bits:
+                circuit.ccx(source, target, accumulator[target_index + 1])
+    return circuit

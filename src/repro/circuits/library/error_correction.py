@@ -1,0 +1,75 @@
+"""Error-correction benchmarks: Shor-code stabilisers and a secret-sharing circuit."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qec9xz(num_qubits: int = 17) -> QuantumCircuit:
+    """Nine-qubit Shor-code style X/Z stabiliser measurement (QASMBench ``qec9xz``).
+
+    Nine data qubits plus eight syndrome ancillas; each ancilla couples to a
+    pair of data qubits (Z checks via CNOT into the ancilla, X checks via
+    Hadamard-conjugated CNOTs).
+    """
+    data = list(range(9))
+    ancillas = list(range(9, min(num_qubits, 17)))
+    circuit = QuantumCircuit(max(num_qubits, 10), name=f"qec9xz_n{circuit_width(num_qubits)}")
+
+    # Encode |0>_L: three GHZ blocks of three qubits with Hadamards.
+    for block in range(3):
+        base = 3 * block
+        circuit.h(base)
+        circuit.cx(base, base + 1)
+        circuit.cx(base, base + 2)
+
+    # Z-type checks: ancilla a_i measures Z_i Z_{i+1} within each block.
+    for index, ancilla in enumerate(ancillas[:6]):
+        block = index // 2
+        offset = index % 2
+        first = 3 * block + offset
+        circuit.cx(data[first], ancilla)
+        circuit.cx(data[first + 1], ancilla)
+
+    # X-type checks: remaining ancillas compare blocks.
+    for index, ancilla in enumerate(ancillas[6:]):
+        left_block = index
+        right_block = index + 1
+        circuit.h(ancilla)
+        for qubit in range(3):
+            circuit.cx(ancilla, data[3 * left_block + qubit])
+            circuit.cx(ancilla, data[3 * right_block + qubit])
+        circuit.h(ancilla)
+    return circuit
+
+
+def circuit_width(num_qubits: int) -> int:
+    return max(num_qubits, 10)
+
+
+def seca(num_qubits: int = 11) -> QuantumCircuit:
+    """Shor error-correction assisted entanglement circuit (QASMBench ``seca``).
+
+    Encodes a GHZ-shared secret across three parties with Toffoli-based
+    majority voting — Toffoli-heavy with medium connectivity demands.
+    """
+    circuit = QuantumCircuit(num_qubits, name=f"seca_n{num_qubits}")
+    # Share a GHZ state among the first three qubits.
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(0, 2)
+    # Encode each share into a three-qubit repetition block.
+    blocks = [(0, 3, 4), (1, 5, 6), (2, 7, 8)]
+    for logical, first, second in blocks:
+        circuit.cx(logical, first)
+        circuit.cx(logical, second)
+    # Simulated error + majority-vote correction on each block.
+    for logical, first, second in blocks:
+        circuit.x(first)
+        circuit.cx(logical, first)
+        circuit.cx(logical, second)
+        circuit.ccx(first, second, logical)
+    # Decode onto the remaining ancillas if available.
+    for extra in range(9, num_qubits):
+        circuit.cx(extra % 3, extra)
+    return circuit

@@ -1,0 +1,91 @@
+"""Hidden-subgroup class benchmarks: QFT, entangled QFT, QPE, Bernstein-Vazirani."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qft(num_qubits: int, *, do_swaps: bool = True, approximation_degree: int = 0) -> QuantumCircuit:
+    """Quantum Fourier Transform on ``num_qubits`` qubits.
+
+    Args:
+        num_qubits: register width.
+        do_swaps: append the final bit-reversal SWAP network (as the
+            benchmark suites do).
+        approximation_degree: drop controlled phases smaller than
+            ``pi / 2**(num_qubits - approximation_degree)`` (0 = exact).
+    """
+    circuit = QuantumCircuit(num_qubits, name=f"qft_n{num_qubits}")
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for control in reversed(range(target)):
+            distance = target - control
+            if approximation_degree and distance >= num_qubits - approximation_degree:
+                continue
+            circuit.cp(math.pi / (2**distance), control, target)
+    if do_swaps:
+        for low in range(num_qubits // 2):
+            circuit.swap(low, num_qubits - 1 - low)
+    return circuit
+
+
+def qft_entangled(num_qubits: int) -> QuantumCircuit:
+    """GHZ-state preparation followed by a QFT (MQTBench ``qftentangled``)."""
+    circuit = QuantumCircuit(num_qubits, name=f"qftentangled_n{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    fourier = qft(num_qubits)
+    return circuit.compose(fourier).copy(name=f"qftentangled_n{num_qubits}")
+
+
+def qpe_exact(num_qubits: int, phase: float = 0.8125) -> QuantumCircuit:
+    """Quantum phase estimation with an exactly representable phase.
+
+    One qubit carries the eigenstate, the remaining ``num_qubits - 1`` form
+    the counting register (MQTBench ``qpeexact``).
+    """
+    if num_qubits < 2:
+        raise ValueError("QPE needs at least two qubits")
+    counting = num_qubits - 1
+    target = num_qubits - 1
+    circuit = QuantumCircuit(num_qubits, name=f"qpeexact_n{num_qubits}")
+    circuit.x(target)
+    for qubit in range(counting):
+        circuit.h(qubit)
+    for qubit in range(counting):
+        angle = 2 * math.pi * phase * (2**qubit)
+        circuit.cp(angle, qubit, target)
+    inverse_qft = qft(counting, do_swaps=True).inverse()
+    circuit = circuit.compose(inverse_qft, qubits=list(range(counting)))
+    return circuit.copy(name=f"qpeexact_n{num_qubits}")
+
+
+def bernstein_vazirani(num_qubits: int, secret: int | None = None) -> QuantumCircuit:
+    """Bernstein-Vazirani with a dense secret string (QASMBench ``bv``).
+
+    The last qubit is the oracle ancilla; the secret defaults to the
+    alternating bit string so roughly half the qubits couple to the ancilla.
+    """
+    if num_qubits < 2:
+        raise ValueError("Bernstein-Vazirani needs at least two qubits")
+    data = num_qubits - 1
+    if secret is None:
+        secret = int("10" * data, 2) % (2**data)
+    circuit = QuantumCircuit(num_qubits, name=f"bv_n{num_qubits}")
+    ancilla = num_qubits - 1
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in range(data):
+        circuit.h(qubit)
+    for qubit in range(data):
+        if (secret >> qubit) & 1:
+            circuit.cx(qubit, ancilla)
+    for qubit in range(data):
+        circuit.h(qubit)
+    circuit.h(ancilla)
+    return circuit

@@ -1,0 +1,45 @@
+"""Memory benchmarks: bucket-brigade style QRAM addressing."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qram(num_qubits: int = 20) -> QuantumCircuit:
+    """Bucket-brigade QRAM query circuit (QASMBench ``qram``-style).
+
+    Address qubits fan out through controlled-SWAP routers into memory
+    cells and the retrieved value is copied to a bus qubit.  The circuit is
+    Fredkin/Toffoli heavy with a tree-shaped interaction graph.
+    """
+    if num_qubits < 7:
+        raise ValueError("qram needs at least seven qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"qram_n{num_qubits}")
+
+    num_address = max(2, (num_qubits - 3) // 4)
+    address = list(range(num_address))
+    bus = num_address
+    routers = list(range(num_address + 1, num_address + 1 + num_address))
+    memory = list(range(num_address + 1 + num_address, num_qubits))
+
+    # Superpose the address register.
+    for qubit in address:
+        circuit.h(qubit)
+
+    # Route the query: each address bit toggles a router which conditionally
+    # swaps neighbouring memory cells toward the bus.
+    for level, (addr, router) in enumerate(zip(address, routers)):
+        circuit.cx(addr, router)
+        for index in range(level, len(memory) - 1, max(1, level + 1)):
+            circuit.cswap(router, memory[index], memory[index + 1])
+
+    # Mark some memory contents and read out onto the bus.
+    for index, cell in enumerate(memory):
+        if index % 3 == 0:
+            circuit.x(cell)
+        circuit.cx(cell, bus)
+
+    # Un-route (reverse the router toggles).
+    for addr, router in zip(reversed(address), reversed(routers)):
+        circuit.cx(addr, router)
+    return circuit

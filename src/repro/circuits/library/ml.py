@@ -1,0 +1,147 @@
+"""QML-class benchmarks: swap test, kNN kernel, SAT oracle and portfolio QAOA."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library.qaoa import qaoa_maxcut
+
+
+def swap_test(num_qubits: int = 25) -> QuantumCircuit:
+    """Swap test between two registers (QASMBench ``swap_test``).
+
+    One ancilla controls Fredkin gates between corresponding qubits of two
+    ``(num_qubits - 1) / 2`` registers.
+    """
+    if num_qubits < 3:
+        raise ValueError("swap test needs at least three qubits")
+    register = (num_qubits - 1) // 2
+    total = 2 * register + 1
+    circuit = QuantumCircuit(total, name=f"swap_test_n{total}")
+    ancilla = 0
+    first = list(range(1, register + 1))
+    second = list(range(register + 1, 2 * register + 1))
+
+    for index, qubit in enumerate(first):
+        circuit.ry(0.3 + 0.1 * index, qubit)
+    for index, qubit in enumerate(second):
+        circuit.ry(0.5 + 0.05 * index, qubit)
+
+    circuit.h(ancilla)
+    for qubit_a, qubit_b in zip(first, second):
+        circuit.cswap(ancilla, qubit_a, qubit_b)
+    circuit.h(ancilla)
+    return circuit
+
+
+def knn(num_qubits: int = 25) -> QuantumCircuit:
+    """Quantum kNN kernel estimation (QASMBench ``knn``-style).
+
+    Structurally a swap test preceded by feature-encoding rotations and
+    entangling CNOT ladders in each register.
+    """
+    if num_qubits < 5:
+        raise ValueError("knn needs at least five qubits")
+    register = (num_qubits - 1) // 2
+    total = 2 * register + 1
+    circuit = QuantumCircuit(total, name=f"knn_n{total}")
+    ancilla = 0
+    first = list(range(1, register + 1))
+    second = list(range(register + 1, 2 * register + 1))
+
+    for index, qubit in enumerate(first):
+        circuit.ry(0.2 + 0.07 * index, qubit)
+        circuit.rz(0.4 + 0.05 * index, qubit)
+    for index, qubit in enumerate(second):
+        circuit.ry(0.25 + 0.06 * index, qubit)
+        circuit.rz(0.35 + 0.04 * index, qubit)
+    for qubits in (first, second):
+        for left, right in zip(qubits, qubits[1:]):
+            circuit.cx(left, right)
+
+    circuit.h(ancilla)
+    for qubit_a, qubit_b in zip(first, second):
+        circuit.cswap(ancilla, qubit_a, qubit_b)
+    circuit.h(ancilla)
+    return circuit
+
+
+def sat(num_qubits: int = 11, num_clauses: int | None = None) -> QuantumCircuit:
+    """Grover-style 3-SAT oracle iteration (QASMBench ``sat``).
+
+    Clause ancillas accumulate Toffoli checks of 3-variable clauses, a
+    multi-controlled phase marks satisfying assignments, then the clause
+    computation is uncomputed and a diffusion step is applied.
+    """
+    if num_qubits < 5:
+        raise ValueError("sat needs at least five qubits")
+    num_variables = max(3, num_qubits // 2)
+    num_ancillas = num_qubits - num_variables
+    if num_clauses is None:
+        num_clauses = 2 * num_ancillas
+    variables = list(range(num_variables))
+    ancillas = list(range(num_variables, num_qubits))
+    circuit = QuantumCircuit(num_qubits, name=f"sat_n{num_qubits}")
+
+    for qubit in variables:
+        circuit.h(qubit)
+
+    rng = np.random.default_rng(7)
+
+    def clause_qubits(index: int) -> tuple[int, int, int]:
+        picks = rng.choice(num_variables, size=3, replace=False)
+        return tuple(int(v) for v in picks)
+
+    clauses = [clause_qubits(i) for i in range(num_clauses)]
+
+    def compute_clauses() -> None:
+        for index, (a, b, c) in enumerate(clauses):
+            ancilla = ancillas[index % num_ancillas]
+            circuit.x(a)
+            circuit.ccx(a, b, ancilla)
+            circuit.x(a)
+            circuit.cx(c, ancilla)
+
+    compute_clauses()
+    # Phase oracle on the last ancilla.
+    circuit.h(ancillas[-1])
+    circuit.ccx(ancillas[0], ancillas[len(ancillas) // 2], ancillas[-1])
+    circuit.h(ancillas[-1])
+    compute_clauses()  # uncompute (self-inverse sequence of the same gates)
+
+    # Diffusion over the variable register.
+    for qubit in variables:
+        circuit.h(qubit)
+        circuit.x(qubit)
+    circuit.h(variables[-1])
+    circuit.ccx(variables[0], variables[1], variables[-1])
+    circuit.h(variables[-1])
+    for qubit in variables:
+        circuit.x(qubit)
+        circuit.h(qubit)
+    return circuit
+
+
+def portfolio_qaoa(num_qubits: int = 16, layers: int = 2) -> QuantumCircuit:
+    """Portfolio-optimisation QAOA with a fully connected cost Hamiltonian.
+
+    The asset-covariance cost couples every pair of qubits (MQTBench
+    ``portfolioqaoa``), which makes this the densest circuit of the suite.
+    """
+    rng = np.random.default_rng(13)
+    circuit = QuantumCircuit(num_qubits, name=f"portfolioqaoa_n{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for layer in range(layers):
+        gamma = 0.4 + 0.2 * layer
+        for a in range(num_qubits):
+            for b in range(a + 1, num_qubits):
+                weight = float(rng.normal(loc=0.5, scale=0.2))
+                circuit.rzz(gamma * weight, a, b)
+        beta = 0.7 - 0.2 * layer
+        for qubit in range(num_qubits):
+            circuit.rx(2 * beta, qubit)
+    return circuit

@@ -1,0 +1,39 @@
+"""QAOA circuits for MaxCut on random regular graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qaoa_maxcut(
+    num_qubits: int,
+    layers: int = 1,
+    degree: int = 3,
+    seed: int = 5,
+) -> QuantumCircuit:
+    """QAOA MaxCut ansatz on a random ``degree``-regular graph.
+
+    Args:
+        num_qubits: one qubit per graph vertex.
+        layers: number of (cost, mixer) rounds.
+        degree: graph regularity (3-regular is the common benchmark).
+        seed: graph / angle seed.
+    """
+    if num_qubits * degree % 2:
+        degree += 1
+    graph = nx.random_regular_graph(degree, num_qubits, seed=seed)
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"qaoa_n{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for layer in range(layers):
+        gamma = float(rng.uniform(0.2, 1.2))
+        beta = float(rng.uniform(0.2, 1.2))
+        for a, b in graph.edges:
+            circuit.rzz(2 * gamma, a, b)
+        for qubit in range(num_qubits):
+            circuit.rx(2 * beta, qubit)
+    return circuit

@@ -1,0 +1,37 @@
+"""Entangled-state preparation benchmarks: GHZ and W states."""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    """GHZ state preparation (linear CNOT chain)."""
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_n{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def wstate(num_qubits: int) -> QuantumCircuit:
+    """W-state preparation (QASMBench ``wstate``).
+
+    Uses the standard cascade of controlled rotations from a seed qubit
+    followed by the un-computation CNOT fan-in; the hub structure gives the
+    circuit a star-like interaction graph that cannot be embedded without
+    SWAPs on sparse hardware.
+    """
+    if num_qubits < 2:
+        raise ValueError("a W state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"wstate_n{num_qubits}")
+    circuit.x(num_qubits - 1)
+    for index in range(num_qubits - 1):
+        remaining = num_qubits - index
+        theta = 2 * math.asin(math.sqrt(1.0 / remaining))
+        # Controlled rotation distributing amplitude from the hub qubit.
+        circuit.cry(theta, num_qubits - 1, index)
+        circuit.cx(index, num_qubits - 1)
+    return circuit

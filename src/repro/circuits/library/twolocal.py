@@ -1,0 +1,42 @@
+"""Hardware-efficient variational ansatz circuits (paper Fig. 8)."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def twolocal_full(
+    num_qubits: int,
+    reps: int = 1,
+    *,
+    rotation_angle_seed: float = 0.3,
+) -> QuantumCircuit:
+    """TwoLocal ansatz with full entanglement (CNOT between every pair).
+
+    This is the circuit of paper Fig. 8a: a rotation layer, a full
+    entanglement block per repetition, and a final rotation layer.
+    """
+    circuit = QuantumCircuit(num_qubits, name=f"twolocal_full_n{num_qubits}")
+    for repetition in range(reps):
+        for qubit in range(num_qubits):
+            circuit.ry(rotation_angle_seed + 0.1 * qubit + 0.2 * repetition, qubit)
+        for control in range(num_qubits):
+            for target in range(control + 1, num_qubits):
+                circuit.cx(control, target)
+    for qubit in range(num_qubits):
+        circuit.ry(rotation_angle_seed / 2 + 0.05 * qubit, qubit)
+    return circuit
+
+
+def efficient_su2(num_qubits: int, reps: int = 2) -> QuantumCircuit:
+    """EfficientSU2-style ansatz with linear entanglement."""
+    circuit = QuantumCircuit(num_qubits, name=f"efficient_su2_n{num_qubits}")
+    for repetition in range(reps):
+        for qubit in range(num_qubits):
+            circuit.ry(0.1 + 0.07 * qubit + 0.3 * repetition, qubit)
+            circuit.rz(0.2 + 0.05 * qubit + 0.1 * repetition, qubit)
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+    for qubit in range(num_qubits):
+        circuit.ry(0.15 + 0.02 * qubit, qubit)
+    return circuit

@@ -1,0 +1,55 @@
+"""Minimal OpenQASM 2.0 export.
+
+Only the gates that appear in the final transpiled circuits (and the
+benchmark generators) are supported.  The exporter exists so that circuits
+produced by this library can be inspected with external tooling; it is not a
+round-trip serialisation format.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QASMError
+from repro.circuits.circuit import QuantumCircuit
+
+_SIMPLE = {
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+    "cx", "cz", "swap", "iswap", "ccx", "cswap",
+}
+_PARAMETRIC = {"rx", "ry", "rz", "p", "u", "u3", "cp", "crx", "cry", "crz",
+               "rxx", "ryy", "rzz"}
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to an OpenQASM 2.0 string.
+
+    Raises:
+        QASMError: if the circuit contains a gate with no QASM equivalent
+            (e.g. raw unitary blocks — decompose them first).
+    """
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
+    for instruction in circuit:
+        name = instruction.gate.name
+        qubits = ", ".join(f"q[{q}]" for q in instruction.qubits)
+        if name == "barrier":
+            lines.append(f"barrier {qubits};")
+        elif name == "measure":
+            (qubit,) = instruction.qubits
+            lines.append(f"measure q[{qubit}] -> c[{qubit}];")
+        elif name == "siswap":
+            # Emit as the XY rotation it is.
+            lines.append(f"rxx(-pi/4) {qubits};")
+            lines.append(f"ryy(-pi/4) {qubits};")
+        elif name in _SIMPLE:
+            lines.append(f"{name} {qubits};")
+        elif name in _PARAMETRIC:
+            params = ", ".join(f"{value!r}" for value in instruction.gate.params)
+            emitted = "u3" if name == "u" else name
+            lines.append(f"{emitted}({params}) {qubits};")
+        else:
+            raise QASMError(f"gate {name!r} has no OpenQASM 2 representation")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,27 @@
+"""MIRAGE core: the mirror-gate router, aggression policy and public API."""
+
+from repro.core.aggression import (
+    Aggression,
+    DEFAULT_AGGRESSION_DISTRIBUTION,
+    accept_mirror,
+    aggression_schedule,
+    fixed_schedule,
+    schedule_from_spec,
+)
+from repro.core.mirage_pass import MirageSwap
+from repro.core.results import TranspileResult
+from repro.core.transpile import compare_methods, prepare_circuit, transpile
+
+__all__ = [
+    "Aggression",
+    "DEFAULT_AGGRESSION_DISTRIBUTION",
+    "accept_mirror",
+    "aggression_schedule",
+    "fixed_schedule",
+    "schedule_from_spec",
+    "MirageSwap",
+    "TranspileResult",
+    "compare_methods",
+    "prepare_circuit",
+    "transpile",
+]

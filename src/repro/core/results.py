@@ -1,0 +1,67 @@
+"""Result objects returned by the top-level transpilation API."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.transpiler.layout import Layout
+from repro.transpiler.metrics import CircuitMetrics
+
+
+@dataclasses.dataclass
+class TranspileResult:
+    """Everything produced by one transpilation run.
+
+    Attributes:
+        circuit: the routed circuit on physical qubits.
+        metrics: depth / cost / SWAP metrics of the routed circuit.
+        method: ``"mirage"``, ``"sabre"`` or ``"vf2"`` (SWAP-free embedding).
+        basis: basis gate the cost metrics are expressed in.
+        initial_layout: virtual-to-physical layout at circuit start.
+        final_layout: layout after the last gate (differs when SWAPs or
+            mirror gates moved data).
+        swaps_added: SWAP gates inserted by routing.
+        mirrors_accepted: mirror substitutions performed (MIRAGE only).
+        mirror_candidates: two-qubit gates that reached the intermediate layer.
+        runtime_seconds: wall-clock transpilation time.
+        selection_metric: post-selection metric used across trials.
+        trial_index: index of the winning routing trial.
+        input_metrics: metrics of the cleaned, consolidated input circuit
+            (before routing) for improvement reporting.
+    """
+
+    circuit: QuantumCircuit
+    metrics: CircuitMetrics
+    method: str
+    basis: str
+    initial_layout: Layout
+    final_layout: Layout
+    swaps_added: int
+    mirrors_accepted: int
+    mirror_candidates: int
+    runtime_seconds: float
+    selection_metric: str
+    trial_index: int
+    input_metrics: CircuitMetrics | None = None
+
+    @property
+    def mirror_acceptance_rate(self) -> float:
+        if self.mirror_candidates == 0:
+            return 0.0
+        return self.mirrors_accepted / self.mirror_candidates
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Flat summary row, convenient for tables and benches."""
+        return {
+            "method": self.method,
+            "basis": self.basis,
+            "depth": round(self.metrics.depth, 3),
+            "total_cost": round(self.metrics.total_cost, 3),
+            "swaps": self.swaps_added,
+            "two_qubit_gates": self.metrics.two_qubit_count,
+            "mirrors": self.mirrors_accepted,
+            "mirror_rate": round(self.mirror_acceptance_rate, 3),
+            "runtime_s": round(self.runtime_seconds, 3),
+            "selection": self.selection_metric,
+        }

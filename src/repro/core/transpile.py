@@ -1,0 +1,230 @@
+"""Top-level transpilation API.
+
+:func:`transpile` runs the full flow of the paper's experimental setup
+(Section V): input cleaning, unrolling, block consolidation, a VF2 search
+for a SWAP-free embedding, and — when routing is needed — the multi-trial
+SABRE or MIRAGE router with the chosen post-selection metric.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.exceptions import TranspilerError
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.aggression import Aggression, schedule_from_spec
+from repro.core.mirage_pass import MirageSwap
+from repro.core.results import TranspileResult
+from repro.polytopes.coverage import CoverageSet, get_coverage_set
+from repro.transpiler.layout import Layout, apply_layout, vf2_layout
+from repro.transpiler.metrics import evaluate
+from repro.transpiler.passes.cleanup import clean_input
+from repro.transpiler.passes.consolidate import consolidate_blocks
+from repro.transpiler.passes.sabre_layout import (
+    SabreLayout,
+    depth_metric,
+    swap_count_metric,
+)
+from repro.transpiler.passes.sabre_swap import SabreSwap
+from repro.transpiler.passes.unroll import unroll_to_two_qubit
+from repro.transpiler.topologies import CouplingMap, topology_by_name
+
+
+def prepare_circuit(
+    circuit: QuantumCircuit, *, consolidate: bool = True
+) -> QuantumCircuit:
+    """Input cleaning + unrolling + consolidation (paper Section V)."""
+    cleaned = clean_input(circuit)
+    unrolled = unroll_to_two_qubit(cleaned)
+    cleaned = clean_input(unrolled)
+    if consolidate:
+        return consolidate_blocks(cleaned)
+    return cleaned
+
+
+def _resolve_coupling(
+    coupling: CouplingMap | str, num_qubits: int
+) -> CouplingMap:
+    if isinstance(coupling, CouplingMap):
+        return coupling
+    return topology_by_name(coupling, num_qubits)
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap | str,
+    *,
+    basis: str = "sqrt_iswap",
+    method: str = "mirage",
+    selection: str = "depth",
+    aggression: int | str | Sequence[int] | None = None,
+    layout_trials: int = 4,
+    refinement_rounds: int = 2,
+    routing_trials: int = 1,
+    coverage: CoverageSet | None = None,
+    use_vf2: bool = True,
+    seed: int | None = 11,
+) -> TranspileResult:
+    """Transpile ``circuit`` onto ``coupling`` for a given basis gate.
+
+    Args:
+        circuit: input circuit (any mix of 1Q/2Q/3Q gates and directives).
+        coupling: a :class:`CouplingMap` or a topology name
+            (``"line"``, ``"square"``, ``"heavy_hex"``, ``"a2a"``, ...).
+        basis: target basis gate; decomposition costs are expressed in its
+            pulse units (``sqrt_iswap`` is the paper's main target).
+        method: ``"mirage"`` (mirror-gate routing) or ``"sabre"`` (baseline).
+        selection: post-selection metric across routing trials — ``"depth"``
+            (decomposition-aware critical path, MIRAGE's default) or
+            ``"swaps"`` (stock SABRE).
+        aggression: MIRAGE aggression specification — ``None``/``"mixed"``
+            for the paper's 5/45/45/5 distribution, an integer 0-3 for a
+            fixed level, or an explicit per-trial sequence.
+        layout_trials: independent random initial layouts.
+        refinement_rounds: forward/backward SABRE refinement rounds.
+        routing_trials: final routings per refined layout.
+        coverage: preconstructed coverage set (otherwise the shared set for
+            ``basis`` is used).
+        use_vf2: look for a SWAP-free embedding before routing.
+        seed: RNG seed (``None`` for nondeterministic).
+
+    Returns:
+        A :class:`TranspileResult`.
+
+    Raises:
+        TranspilerError: if the device is too small or the method is unknown.
+    """
+    start = time.perf_counter()
+    method = method.lower()
+    if method not in {"mirage", "sabre"}:
+        raise TranspilerError(f"unknown transpilation method {method!r}")
+    selection = selection.lower()
+    if selection not in {"depth", "swaps"}:
+        raise TranspilerError(f"unknown selection metric {selection!r}")
+
+    prepared = prepare_circuit(circuit)
+    coupling_map = _resolve_coupling(coupling, prepared.num_qubits)
+    if prepared.num_qubits > coupling_map.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {prepared.num_qubits} qubits but the device has "
+            f"{coupling_map.num_qubits}"
+        )
+    coverage = coverage if coverage is not None else get_coverage_set(basis)
+    input_metrics = evaluate(prepared, basis=basis, coverage=coverage)
+
+    # SWAP-free embedding short-circuit (paper: VF2Layout before SABRE/MIRAGE).
+    if use_vf2:
+        embedding = vf2_layout(prepared, coupling_map)
+        if embedding is not None:
+            routed = apply_layout(prepared, embedding, coupling_map.num_qubits)
+            metrics = evaluate(routed, basis=basis, coverage=coverage)
+            return TranspileResult(
+                circuit=routed,
+                metrics=metrics,
+                method="vf2",
+                basis=basis,
+                initial_layout=embedding,
+                final_layout=embedding.copy(),
+                swaps_added=0,
+                mirrors_accepted=0,
+                mirror_candidates=0,
+                runtime_seconds=time.perf_counter() - start,
+                selection_metric="none",
+                trial_index=-1,
+                input_metrics=input_metrics,
+            )
+
+    # Router factory: SABRE or MIRAGE with an aggression schedule.
+    if method == "sabre":
+        def router_factory(trial: int) -> SabreSwap:
+            return SabreSwap(coupling_map, seed=None if seed is None else seed + trial)
+    else:
+        schedule = schedule_from_spec(layout_trials, aggression)
+
+        def router_factory(trial: int) -> SabreSwap:
+            return MirageSwap(
+                coupling_map,
+                coverage,
+                aggression=schedule[trial % len(schedule)],
+                seed=None if seed is None else seed + trial,
+            )
+
+    metric = (
+        depth_metric(basis=basis, coverage=coverage)
+        if selection == "depth"
+        else swap_count_metric
+    )
+    driver = SabreLayout(
+        coupling_map,
+        router_factory,
+        layout_trials=layout_trials,
+        refinement_rounds=refinement_rounds,
+        routing_trials=routing_trials,
+        selection_metric=metric,
+        metric_name=selection,
+        seed=seed,
+    )
+    best = driver.run(prepared.to_dag())
+    routed = best.routing.to_circuit()
+    metrics = evaluate(
+        best.routing.dag,
+        basis=basis,
+        coverage=coverage,
+        mirrors_accepted=best.routing.mirrors_accepted,
+    )
+    return TranspileResult(
+        circuit=routed,
+        metrics=metrics,
+        method=method,
+        basis=basis,
+        initial_layout=best.routing.initial_layout,
+        final_layout=best.routing.final_layout,
+        swaps_added=best.routing.swaps_added,
+        mirrors_accepted=best.routing.mirrors_accepted,
+        mirror_candidates=best.routing.mirror_candidates,
+        runtime_seconds=time.perf_counter() - start,
+        selection_metric=selection,
+        trial_index=best.trial_index,
+        input_metrics=input_metrics,
+    )
+
+
+def compare_methods(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap | str,
+    *,
+    basis: str = "sqrt_iswap",
+    layout_trials: int = 4,
+    seed: int | None = 11,
+    selections: Sequence[str] = ("swaps", "depth"),
+) -> dict[str, TranspileResult]:
+    """Run the SABRE baseline and MIRAGE variants on the same circuit.
+
+    Returns a dict with keys ``"sabre"`` plus ``"mirage-<selection>"`` for
+    each requested post-selection metric — the comparison behind the
+    paper's Figs. 11 and 12.
+    """
+    results: dict[str, TranspileResult] = {}
+    results["sabre"] = transpile(
+        circuit,
+        coupling,
+        basis=basis,
+        method="sabre",
+        selection="swaps",
+        layout_trials=layout_trials,
+        use_vf2=False,
+        seed=seed,
+    )
+    for selection in selections:
+        results[f"mirage-{selection}"] = transpile(
+            circuit,
+            coupling,
+            basis=basis,
+            method="mirage",
+            selection=selection,
+            layout_trials=layout_trials,
+            use_vf2=False,
+            seed=seed,
+        )
+    return results

@@ -1,0 +1,19 @@
+"""Decomposition of unitaries into basis gates (exact, numerical, approximate)."""
+
+from repro.decompose.numerical import (
+    AnsatzResult,
+    best_approximation_fidelity,
+    interleaved_ansatz_matrix,
+    is_reachable,
+    middle_local_matrix,
+    optimize_to_coordinate,
+)
+
+__all__ = [
+    "AnsatzResult",
+    "best_approximation_fidelity",
+    "interleaved_ansatz_matrix",
+    "is_reachable",
+    "middle_local_matrix",
+    "optimize_to_coordinate",
+]

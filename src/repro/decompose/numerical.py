@@ -1,0 +1,234 @@
+"""Numerical decomposition of two-qubit targets into a fixed basis-gate ansatz.
+
+The ansatz is the standard interleaved form of paper Fig. 2: ``k`` copies of
+the two-qubit basis gate separated by arbitrary single-qubit gates,
+
+    (L_k)  B  (L_{k-1})  B  ...  (L_1)  B  (L_0)
+
+Because outer single-qubit layers never change the local-equivalence class,
+reaching a *canonical class* only requires optimising the ``k - 1`` middle
+layers; the objective used here is the distance between Makhlin invariants,
+which is smooth and vanishes exactly on local equivalence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.exceptions import DecompositionError
+from repro.linalg.random import _as_rng
+from repro.linalg.su2 import u3
+from repro.weyl.catalog import basis_gate_matrix
+from repro.weyl.coordinates import weyl_coordinates
+from repro.weyl.invariants import makhlin_from_coordinate, makhlin_invariants
+
+#: Number of real parameters per middle local layer (two U3 gates).
+PARAMS_PER_LAYER = 6
+
+
+def middle_local_matrix(params: Sequence[float]) -> np.ndarray:
+    """Build ``u3(q1) (x) u3(q0)`` from six Euler angles."""
+    t0, p0, l0, t1, p1, l1 = params
+    return np.kron(u3(t1, p1, l1), u3(t0, p0, l0))
+
+
+def interleaved_ansatz_matrix(
+    basis_matrix: np.ndarray, middle_params: Sequence[float]
+) -> np.ndarray:
+    """Product ``B L_{k-1} B ... L_1 B`` for the given middle parameters.
+
+    ``middle_params`` has ``6 * (k - 1)`` entries; ``k`` is inferred.
+    """
+    middle_params = np.asarray(middle_params, dtype=float)
+    if middle_params.size % PARAMS_PER_LAYER != 0:
+        raise DecompositionError(
+            "middle parameter vector length must be a multiple of six"
+        )
+    layers = middle_params.size // PARAMS_PER_LAYER
+    product = np.array(basis_matrix, dtype=complex)
+    for layer in range(layers):
+        chunk = middle_params[
+            layer * PARAMS_PER_LAYER : (layer + 1) * PARAMS_PER_LAYER
+        ]
+        product = basis_matrix @ middle_local_matrix(chunk) @ product
+    return product
+
+
+@dataclasses.dataclass(frozen=True)
+class AnsatzResult:
+    """Outcome of a numerical ansatz optimisation.
+
+    Attributes:
+        basis: basis-gate name.
+        depth: number of basis applications ``k``.
+        invariant_error: final distance between Makhlin invariants.
+        coordinate: Weyl coordinate actually realised by the optimum.
+        parameters: optimal middle-layer parameters (length ``6 (k - 1)``).
+        success: whether ``invariant_error`` is below the requested tolerance.
+    """
+
+    basis: str
+    depth: int
+    invariant_error: float
+    coordinate: tuple[float, float, float]
+    parameters: tuple[float, ...]
+    success: bool
+
+
+def optimize_to_coordinate(
+    target_coordinate: Sequence[float],
+    basis: str,
+    depth: int,
+    *,
+    trials: int = 4,
+    maxiter: int = 400,
+    tol: float = 1e-3,
+    seed: int | np.random.Generator | None = None,
+) -> AnsatzResult:
+    """Search middle-layer parameters realising a target canonical class.
+
+    Args:
+        target_coordinate: Weyl coordinate of the target class.
+        basis: basis gate name (see :func:`repro.weyl.basis_gate_matrix`).
+        depth: number of basis-gate applications ``k >= 1``.
+        trials: independent random restarts.
+        maxiter: iteration cap per restart.
+        tol: invariant-distance threshold counted as success.
+        seed: RNG seed for the restarts.
+
+    Returns:
+        The best :class:`AnsatzResult` over all restarts.
+    """
+    if depth < 1:
+        raise DecompositionError("ansatz depth must be at least one")
+    rng = _as_rng(seed)
+    basis_matrix = basis_gate_matrix(basis)
+    target_invariants = np.array(
+        makhlin_from_coordinate(tuple(target_coordinate)), dtype=float
+    )
+
+    num_params = PARAMS_PER_LAYER * (depth - 1)
+
+    def objective(params: np.ndarray) -> float:
+        product = interleaved_ansatz_matrix(basis_matrix, params)
+        inv = np.array(makhlin_invariants(product), dtype=float)
+        delta = inv - target_invariants
+        return float(delta @ delta)
+
+    if num_params == 0:
+        # Depth one: the class is fixed; nothing to optimise.
+        product = basis_matrix
+        inv = np.array(makhlin_invariants(product), dtype=float)
+        error = float(np.linalg.norm(inv - target_invariants))
+        coordinate = weyl_coordinates(product)
+        return AnsatzResult(
+            basis=basis,
+            depth=depth,
+            invariant_error=error,
+            coordinate=tuple(coordinate),
+            parameters=(),
+            success=error <= max(tol, 1e-6) ** 0.5,
+        )
+
+    best_value = np.inf
+    best_params = np.zeros(num_params)
+    for _ in range(max(1, trials)):
+        start = rng.uniform(-np.pi, np.pi, size=num_params)
+        result = optimize.minimize(
+            objective,
+            start,
+            method="L-BFGS-B",
+            options={"maxiter": maxiter},
+        )
+        if result.fun < best_value:
+            best_value = float(result.fun)
+            best_params = np.array(result.x)
+        if best_value < tol**2:
+            break
+
+    product = interleaved_ansatz_matrix(basis_matrix, best_params)
+    coordinate = weyl_coordinates(product)
+    error = float(np.sqrt(best_value))
+    return AnsatzResult(
+        basis=basis,
+        depth=depth,
+        invariant_error=error,
+        coordinate=tuple(coordinate),
+        parameters=tuple(best_params.tolist()),
+        success=error <= tol,
+    )
+
+
+def is_reachable(
+    target_coordinate: Sequence[float],
+    basis: str,
+    depth: int,
+    *,
+    tol: float = 1e-3,
+    trials: int = 4,
+    seed: int | np.random.Generator | None = None,
+) -> bool:
+    """Whether a canonical class is realisable with ``depth`` basis gates."""
+    result = optimize_to_coordinate(
+        target_coordinate,
+        basis,
+        depth,
+        trials=trials,
+        tol=tol,
+        seed=seed,
+    )
+    return result.invariant_error <= tol
+
+
+def best_approximation_fidelity(
+    target_coordinate: Sequence[float],
+    basis: str,
+    depth: int,
+    *,
+    trials: int = 3,
+    maxiter: int = 150,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[float, tuple[float, float, float]]:
+    """Best average-gate-fidelity approximation of a class at fixed depth.
+
+    Maximises the canonical trace fidelity between the realised class and
+    the target class over the ansatz parameters.  Returns the fidelity and
+    the realised coordinate.
+    """
+    from repro.weyl.coordinates import canonical_trace_fidelity
+
+    rng = _as_rng(seed)
+    basis_matrix = basis_gate_matrix(basis)
+    num_params = PARAMS_PER_LAYER * max(0, depth - 1)
+    target = tuple(target_coordinate)
+
+    def negative_fidelity(params: np.ndarray) -> float:
+        product = interleaved_ansatz_matrix(basis_matrix, params)
+        realised = weyl_coordinates(product)
+        return -canonical_trace_fidelity(realised, target)
+
+    if num_params == 0:
+        realised = weyl_coordinates(basis_matrix)
+        return canonical_trace_fidelity(realised, target), tuple(realised)
+
+    best_value = np.inf
+    best_params = np.zeros(num_params)
+    for _ in range(max(1, trials)):
+        start = rng.uniform(-np.pi, np.pi, size=num_params)
+        result = optimize.minimize(
+            negative_fidelity,
+            start,
+            method="Nelder-Mead",
+            options={"maxiter": maxiter, "fatol": 1e-7},
+        )
+        if result.fun < best_value:
+            best_value = float(result.fun)
+            best_params = np.array(result.x)
+
+    product = interleaved_ansatz_matrix(basis_matrix, best_params)
+    realised = weyl_coordinates(product)
+    return -best_value, tuple(realised)

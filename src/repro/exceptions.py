@@ -1,0 +1,40 @@
+"""Exception hierarchy for the MIRAGE reproduction library.
+
+Every error raised on purpose by this package derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits, bad qubit indices or invalid gates."""
+
+
+class DAGError(ReproError):
+    """Raised when a DAG operation would violate the DAG invariants."""
+
+
+class DecompositionError(ReproError):
+    """Raised when a unitary cannot be decomposed as requested."""
+
+
+class TranspilerError(ReproError):
+    """Raised by transpiler passes (layout, routing, basis translation)."""
+
+
+class CoverageError(ReproError):
+    """Raised when a coverage set cannot answer a membership/cost query."""
+
+
+class WeylError(ReproError):
+    """Raised when Weyl-coordinate computation fails to converge."""
+
+
+class QASMError(ReproError):
+    """Raised for invalid OpenQASM serialisation requests."""

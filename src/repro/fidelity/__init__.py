@@ -1,0 +1,21 @@
+"""Fidelity models and Monte-Carlo Haar-score analysis."""
+
+from repro.fidelity.error_model import (
+    DEFAULT_UNIT_FIDELITY,
+    ErrorModel,
+    relative_infidelity_reduction,
+)
+from repro.fidelity.monte_carlo import (
+    MonteCarloResult,
+    approximate_gate_costs,
+    strategy_comparison,
+)
+
+__all__ = [
+    "DEFAULT_UNIT_FIDELITY",
+    "ErrorModel",
+    "relative_infidelity_reduction",
+    "MonteCarloResult",
+    "approximate_gate_costs",
+    "strategy_comparison",
+]

@@ -1,0 +1,59 @@
+"""Decoherence-limited fidelity model (paper Eq. 2).
+
+The paper's error model attributes infidelity to decoherence over the gate
+duration: ``F = exp(-duration / lifetime)``.  Durations are expressed in
+normalised pulse units where a full iSWAP costs 1.0 and is calibrated to a
+99% fidelity, so a circuit of total cost ``c`` has fidelity ``0.99 ** c``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+#: Calibration point of the paper: an iSWAP (unit cost) has 99% fidelity.
+DEFAULT_UNIT_FIDELITY = 0.99
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorModel:
+    """Exponential-decay gate error model.
+
+    Attributes:
+        unit_fidelity: fidelity of a unit-cost (iSWAP-duration) pulse.
+    """
+
+    unit_fidelity: float = DEFAULT_UNIT_FIDELITY
+
+    @property
+    def decay_rate(self) -> float:
+        """``duration / lifetime`` corresponding to one cost unit."""
+        return -math.log(self.unit_fidelity)
+
+    def gate_fidelity(self, cost: float) -> float:
+        """Fidelity of a gate (or circuit) of normalised cost ``cost``."""
+        return self.unit_fidelity**cost
+
+    def circuit_fidelity(self, total_cost: float) -> float:
+        """Alias of :meth:`gate_fidelity` for whole-circuit costs."""
+        return self.gate_fidelity(total_cost)
+
+    def infidelity(self, cost: float) -> float:
+        return 1.0 - self.gate_fidelity(cost)
+
+    def combined_fidelity(self, cost: float, decomposition_fidelity: float) -> float:
+        """Total fidelity of an approximate decomposition.
+
+        The product of the circuit (decoherence) fidelity and the
+        approximation (decomposition) fidelity, which is the acceptance
+        criterion of paper Algorithm 1.
+        """
+        return self.gate_fidelity(cost) * decomposition_fidelity
+
+
+def relative_infidelity_reduction(before: float, after: float) -> float:
+    """Relative decrease in infidelity going from ``before`` to ``after``."""
+    infidelity_before = 1.0 - before
+    if infidelity_before <= 0:
+        return 0.0
+    return (infidelity_before - (1.0 - after)) / infidelity_before

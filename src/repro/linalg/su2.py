@@ -1,0 +1,132 @@
+"""Single-qubit (SU(2)) rotations and Euler-angle decomposition.
+
+The numerical decomposition ansatz (paper Fig. 2) interleaves arbitrary
+single-qubit gates between applications of the two-qubit basis gate; those
+single-qubit gates are parameterised here as ZYZ Euler rotations, the same
+parameterisation used to emit ``U(theta, phi, lambda)`` gates in the final
+circuits.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.linalg.constants import X, Y, Z
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta``."""
+    half = theta / 2
+    return np.array(
+        [
+            [math.cos(half), -1j * math.sin(half)],
+            [-1j * math.sin(half), math.cos(half)],
+        ],
+        dtype=complex,
+    )
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta``."""
+    half = theta / 2
+    return np.array(
+        [
+            [math.cos(half), -math.sin(half)],
+            [math.sin(half), math.cos(half)],
+        ],
+        dtype=complex,
+    )
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta``."""
+    half = theta / 2
+    return np.array(
+        [[cmath.exp(-1j * half), 0], [0, cmath.exp(1j * half)]], dtype=complex
+    )
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """The generic single-qubit gate ``U(theta, phi, lambda)``.
+
+    Matches the OpenQASM / IBM convention::
+
+        U = [[cos(t/2),            -e^{i lam} sin(t/2)],
+             [e^{i phi} sin(t/2),   e^{i(phi+lam)} cos(t/2)]]
+    """
+    half = theta / 2
+    return np.array(
+        [
+            [math.cos(half), -cmath.exp(1j * lam) * math.sin(half)],
+            [
+                cmath.exp(1j * phi) * math.sin(half),
+                cmath.exp(1j * (phi + lam)) * math.cos(half),
+            ],
+        ],
+        dtype=complex,
+    )
+
+
+def zyz_angles(unitary: np.ndarray) -> tuple[float, float, float, float]:
+    """Decompose a single-qubit unitary as ``e^{i alpha} Rz(phi) Ry(theta) Rz(lam)``.
+
+    Returns:
+        ``(theta, phi, lam, alpha)`` — the Euler angles and global phase.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    det = np.linalg.det(unitary)
+    alpha = cmath.phase(det) / 2
+    su = unitary * cmath.exp(-1j * alpha)
+
+    # su = [[a, b], [-b*, a*]] with |a|^2 + |b|^2 = 1 for SU(2).
+    a = su[0, 0]
+    b = su[0, 1]
+    theta = 2 * math.atan2(abs(b), abs(a))
+
+    # With theta in [0, pi], both cos(theta/2) and sin(theta/2) are
+    # non-negative, so su[1, 1] = cos(theta/2) e^{i(phi+lam)/2} and
+    # su[1, 0] = sin(theta/2) e^{i(phi-lam)/2} give the phase sums directly.
+    if abs(a) < 1e-12:
+        plus = 0.0  # theta = pi: only phi - lam is physical.
+        minus = 2 * cmath.phase(su[1, 0])
+    elif abs(b) < 1e-12:
+        plus = 2 * cmath.phase(su[1, 1])  # theta = 0: only phi + lam matters.
+        minus = 0.0
+    else:
+        plus = 2 * cmath.phase(su[1, 1])
+        minus = 2 * cmath.phase(su[1, 0])
+    phi = (plus + minus) / 2
+    lam = (plus - minus) / 2
+
+    # The phase sums are only recovered modulo 2*pi, and Rz is 4*pi periodic,
+    # so the reconstruction can come out off by a global sign; fold that sign
+    # into the global phase.
+    rebuilt = rz(phi) @ ry(theta) @ rz(lam)
+    overlap = np.trace(rebuilt.conj().T @ su)
+    if overlap.real < 0:
+        alpha += math.pi
+    return theta, phi, lam, alpha
+
+
+def zyz_matrix(theta: float, phi: float, lam: float, alpha: float = 0.0) -> np.ndarray:
+    """Rebuild the unitary ``e^{i alpha} Rz(phi) Ry(theta) Rz(lam)``."""
+    return cmath.exp(1j * alpha) * (rz(phi) @ ry(theta) @ rz(lam))
+
+
+def u3_from_zyz(theta: float, phi: float, lam: float) -> np.ndarray:
+    """``U3`` matrix equivalent (up to global phase) of the ZYZ angles."""
+    return u3(theta, phi, lam)
+
+
+def so3_rotation(axis: np.ndarray, angle: float) -> np.ndarray:
+    """SU(2) rotation ``exp(-i angle/2 (axis . sigma))`` about a Bloch axis."""
+    axis = np.asarray(axis, dtype=float)
+    axis = axis / np.linalg.norm(axis)
+    generator = axis[0] * X + axis[1] * Y + axis[2] * Z
+    return (
+        math.cos(angle / 2) * np.eye(2, dtype=complex)
+        - 1j * math.sin(angle / 2) * generator
+    )

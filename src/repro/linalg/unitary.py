@@ -1,0 +1,194 @@
+"""Generic unitary-matrix helpers.
+
+The rest of the library treats two-qubit unitaries as plain 4x4 numpy
+arrays; this module collects the small amount of matrix algebra that the
+higher layers need — checking unitarity, comparing unitaries up to a global
+phase, fidelity measures and embedding small unitaries into larger registers
+for circuit simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+DEFAULT_ATOL = 1e-9
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return ``True`` if ``matrix`` is (numerically) unitary."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, identity, atol=atol))
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return ``True`` if ``matrix`` equals its conjugate transpose."""
+    matrix = np.asarray(matrix, dtype=complex)
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+def global_phase_align(matrix: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Rescale ``matrix`` by a global phase so that it best matches ``reference``.
+
+    The optimal phase maximises ``Re(Tr(reference^dag, phase*matrix))``, which
+    is achieved by rotating by the phase of ``Tr(reference^dag matrix)``.
+    """
+    overlap = np.trace(reference.conj().T @ matrix)
+    if abs(overlap) < 1e-14:
+        return matrix
+    return matrix * (overlap.conjugate() / abs(overlap))
+
+
+def equal_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-7
+) -> bool:
+    """Check whether two matrices are equal up to a global phase factor."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    aligned = global_phase_align(a, b)
+    return bool(np.allclose(aligned, b, atol=atol))
+
+
+def remove_global_phase(matrix: np.ndarray) -> np.ndarray:
+    """Return a special-unitary representative (determinant one) of ``matrix``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    dim = matrix.shape[0]
+    det = np.linalg.det(matrix)
+    if abs(det) < 1e-14:
+        raise CircuitError("matrix is singular; cannot normalise global phase")
+    return matrix / det ** (1.0 / dim)
+
+
+def trace_inner_product(a: np.ndarray, b: np.ndarray) -> complex:
+    """Hilbert-Schmidt inner product ``Tr(a^dag b)``."""
+    return complex(np.trace(np.asarray(a).conj().T @ np.asarray(b)))
+
+
+def unitary_entanglement_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """Entanglement (process) fidelity between unitaries ``a`` and ``b``.
+
+    ``F_e = |Tr(a^dag b)|^2 / d^2`` — invariant under a global phase of
+    either argument.
+    """
+    d = a.shape[0]
+    return float(abs(trace_inner_product(a, b)) ** 2 / d**2)
+
+
+def average_gate_fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """Average gate fidelity between unitaries ``a`` and ``b``.
+
+    ``F_avg = (d * F_e + 1) / (d + 1)`` with ``F_e`` the entanglement
+    fidelity.  This is the measure used when accepting approximate
+    decompositions.
+    """
+    d = a.shape[0]
+    fe = unitary_entanglement_fidelity(a, b)
+    return float((d * fe + 1) / (d + 1))
+
+
+def hilbert_schmidt_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Phase-invariant Hilbert-Schmidt distance ``sqrt(1 - F_e)``."""
+    return float(np.sqrt(max(0.0, 1.0 - unitary_entanglement_fidelity(a, b))))
+
+
+def closest_unitary(matrix: np.ndarray) -> np.ndarray:
+    """Project ``matrix`` onto the unitary group via polar decomposition."""
+    u, _, vh = np.linalg.svd(np.asarray(matrix, dtype=complex))
+    return u @ vh
+
+
+def kron_all(matrices: Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of an iterable of matrices, left to right."""
+    out: np.ndarray | None = None
+    for m in matrices:
+        out = np.asarray(m, dtype=complex) if out is None else np.kron(out, m)
+    if out is None:
+        return np.eye(1, dtype=complex)
+    return out
+
+
+def embed_unitary(
+    unitary: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Embed a small unitary acting on ``qubits`` into an ``num_qubits`` register.
+
+    Uses the little-endian convention: qubit 0 is the least-significant bit of
+    the computational-basis index.  ``qubits[0]`` is the least-significant
+    qubit of ``unitary``.
+
+    Args:
+        unitary: ``2^k x 2^k`` matrix.
+        qubits: the ``k`` register positions it acts on (all distinct).
+        num_qubits: total register width.
+
+    Returns:
+        The ``2^n x 2^n`` matrix acting on the full register.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    k = len(qubits)
+    if unitary.shape != (2**k, 2**k):
+        raise CircuitError(
+            f"unitary of shape {unitary.shape} does not act on {k} qubits"
+        )
+    if len(set(qubits)) != k:
+        raise CircuitError(f"duplicate qubits in {qubits!r}")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise CircuitError(f"qubit index out of range in {qubits!r}")
+
+    dim = 2**num_qubits
+    out = np.zeros((dim, dim), dtype=complex)
+    others = [q for q in range(num_qubits) if q not in qubits]
+
+    for col in range(dim):
+        # Split the column index into the "acted on" part and the rest.
+        small_col = 0
+        for bit_pos, q in enumerate(qubits):
+            small_col |= ((col >> q) & 1) << bit_pos
+        rest = col
+        for q in qubits:
+            rest &= ~(1 << q)
+        column_vector = unitary[:, small_col]
+        for small_row, amplitude in enumerate(column_vector):
+            if amplitude == 0:
+                continue
+            row = rest
+            for bit_pos, q in enumerate(qubits):
+                row |= ((small_row >> bit_pos) & 1) << q
+            out[row, col] += amplitude
+    # "others" documented for clarity; rest bits pass through unchanged.
+    del others
+    return out
+
+
+def apply_unitary_to_state(
+    state: np.ndarray, unitary: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a small unitary to selected qubits of a statevector.
+
+    This reshapes the state into a tensor and contracts only the acted-on
+    axes, which is far cheaper than building the embedded matrix when the
+    register is wide.
+    """
+    state = np.asarray(state, dtype=complex)
+    k = len(qubits)
+    if state.shape != (2**num_qubits,):
+        raise CircuitError("statevector has wrong length")
+    tensor = state.reshape([2] * num_qubits)
+    gate = np.asarray(unitary, dtype=complex).reshape([2] * (2 * k))
+    # Tensor axis i holds qubit (num_qubits - 1 - i); reshaped gate axes j
+    # (outputs) and k + j (inputs) both act on gate bit (k - 1 - j), which is
+    # register qubit ``qubits[k - 1 - j]``.
+    input_axes = [num_qubits - 1 - qubits[k - 1 - j] for j in range(k)]
+    contracted = np.tensordot(
+        gate, tensor, axes=(list(range(k, 2 * k)), input_axes)
+    )
+    result = np.moveaxis(contracted, list(range(k)), input_axes)
+    return result.reshape(2**num_qubits)

@@ -1,0 +1,38 @@
+"""Coverage polytopes — the numerical substitute for monodromy polytopes."""
+
+from repro.polytopes.cache import GLOBAL_COORDINATE_CACHE, CoordinateCache
+from repro.polytopes.coverage import (
+    CircuitPolytope,
+    CoverageSet,
+    build_circuit_polytope,
+    build_coverage_set,
+    get_coverage_set,
+    sample_ansatz_coordinates,
+)
+from repro.polytopes.haar_score import (
+    HaarScoreResult,
+    cost_to_fidelity,
+    coverage_volume_report,
+    expected_cost,
+    haar_score,
+    score_comparison,
+)
+from repro.polytopes.polytope import WeylPolytope
+
+__all__ = [
+    "GLOBAL_COORDINATE_CACHE",
+    "CoordinateCache",
+    "CircuitPolytope",
+    "CoverageSet",
+    "build_circuit_polytope",
+    "build_coverage_set",
+    "get_coverage_set",
+    "sample_ansatz_coordinates",
+    "HaarScoreResult",
+    "cost_to_fidelity",
+    "coverage_volume_report",
+    "expected_cost",
+    "haar_score",
+    "score_comparison",
+    "WeylPolytope",
+]

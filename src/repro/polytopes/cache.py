@@ -1,0 +1,78 @@
+"""Caches used on the transpiler hot path (paper Section VI-C).
+
+Two caches matter in practice:
+
+* a unitary-to-Weyl-coordinate cache keyed by the matrix of the interior
+  (1Q-stripped) block, mirroring the rewritten ``ConsolidateBlocks`` pass of
+  the paper, and
+* the per-coverage-set cost lookup table (kept inside
+  :class:`repro.polytopes.coverage.CoverageSet`).
+
+Both expose hit/miss counters so the Fig. 13 bench can report cache
+effectiveness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.weyl.coordinates import weyl_coordinates
+
+
+class CoordinateCache:
+    """LRU cache mapping two-qubit unitaries to Weyl coordinates.
+
+    Keys are byte strings of the matrix rounded to ``decimals`` decimal
+    places, so numerically identical blocks produced by different gate
+    sequences share an entry.
+    """
+
+    def __init__(self, maxsize: int = 4096, decimals: int = 9) -> None:
+        self.maxsize = maxsize
+        self.decimals = decimals
+        self._store: OrderedDict[bytes, tuple[float, float, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, unitary: np.ndarray) -> bytes:
+        rounded = np.round(np.asarray(unitary, dtype=complex), self.decimals)
+        return rounded.tobytes()
+
+    def coordinate(self, unitary: np.ndarray) -> tuple[float, float, float]:
+        """Coordinate of ``unitary`` with memoisation."""
+        key = self._key(unitary)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return cached
+        self.misses += 1
+        value = tuple(weyl_coordinates(unitary))
+        self._store[key] = value
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+        return value
+
+    def put(self, unitary: np.ndarray, coordinate: tuple[float, float, float]) -> None:
+        """Insert a known coordinate (used when mirroring analytically)."""
+        self._store[self._key(unitary)] = tuple(coordinate)
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def info(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: Module-level cache shared by the transpiler passes (cleared per run if
+#: deterministic measurements are needed).
+GLOBAL_COORDINATE_CACHE = CoordinateCache()

@@ -1,0 +1,446 @@
+"""Coverage sets: which canonical classes a k-deep basis-gate ansatz reaches.
+
+This is the reproduction's substitute for the ``monodromy`` package used by
+the paper.  A *circuit polytope* is the region of the Weyl chamber reachable
+by ``k`` applications of a basis gate interleaved with arbitrary
+single-qubit gates; a *coverage set* is the list of circuit polytopes of a
+basis gate ordered by cost, which supports the two queries MIRAGE needs:
+
+* the minimum decomposition cost of a coordinate (``CoverageSet.cost_of``),
+* Haar-weighted volumes and expected costs (Haar scores).
+
+Each region is built numerically as the convex hull of the coordinates of
+many randomly instantiated ansatz circuits, anchored by (i) the exact
+coordinates of local-free basis-gate powers and (ii) landmark gates whose
+reachability is confirmed by the numerical decomposer.  The mirror-inclusive
+variant augments every region with its image under the mirror transform
+(paper Eq. 1), represented as a union of convex pieces because the transform
+is only piecewise affine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CoverageError
+from repro.linalg.random import _as_rng, haar_unitary
+from repro.polytopes.polytope import WeylPolytope
+from repro.weyl.canonical import PI4, chamber_vertices
+from repro.weyl.catalog import (
+    basis_gate_coordinate,
+    basis_gate_cost,
+    basis_gate_matrix,
+    max_exact_depth,
+)
+from repro.weyl.coordinates import weyl_coordinates
+from repro.weyl.mirror import mirror_coordinate
+
+#: Landmark coordinates anchored into the hulls when numerically reachable.
+_LANDMARKS: tuple[tuple[float, float, float], ...] = (
+    (PI4, 0.0, 0.0),  # CNOT / CZ
+    (PI4, PI4, 0.0),  # iSWAP
+    (PI4, PI4, PI4),  # SWAP
+    (PI4, PI4 / 2, 0.0),  # B gate
+    (PI4 / 2, PI4 / 2, 0.0),  # sqrt(iSWAP)
+    (PI4 / 2, PI4 / 2, PI4 / 2),  # sqrt(SWAP)
+    (PI4 / 2, 0.0, 0.0),  # CPHASE(pi/2)
+)
+
+#: Discrete single-qubit angles used for "structured" middle layers; these
+#: hit hull corners far more reliably than Haar-random locals do.
+_STRUCTURED_ANGLES = (0.0, math.pi / 2, math.pi, 3 * math.pi / 2)
+
+
+def _random_local(rng: np.random.Generator) -> np.ndarray:
+    return np.kron(haar_unitary(2, rng), haar_unitary(2, rng))
+
+
+def _structured_local(rng: np.random.Generator) -> np.ndarray:
+    from repro.linalg.su2 import rx, ry, rz
+
+    rotations = (rx, ry, rz)
+    factors = []
+    for _ in range(2):
+        rotation = rotations[rng.integers(len(rotations))]
+        angle = _STRUCTURED_ANGLES[rng.integers(len(_STRUCTURED_ANGLES))]
+        factors.append(rotation(angle))
+    return np.kron(factors[0], factors[1])
+
+
+def sample_ansatz_coordinates(
+    basis: str,
+    depth: int,
+    num_samples: int,
+    seed: int | np.random.Generator | None = None,
+    structured_fraction: float = 0.35,
+) -> np.ndarray:
+    """Coordinates realised by random instantiations of the depth-``k`` ansatz.
+
+    Args:
+        basis: basis gate name.
+        depth: number of basis-gate applications.
+        num_samples: how many random instantiations to draw.
+        seed: RNG seed.
+        structured_fraction: fraction of samples whose middle locals are
+            drawn from axis rotations by multiples of pi/2 (corner-seeking).
+
+    Returns:
+        ``(m, 3)`` array of canonical coordinates (``m <= num_samples + depth``).
+    """
+    rng = _as_rng(seed)
+    basis_matrix = basis_gate_matrix(basis)
+
+    points: list[tuple[float, float, float]] = []
+    # Local-free powers of the basis gate are exact, cheap anchor points.
+    power = np.eye(4, dtype=complex)
+    for _ in range(depth):
+        power = basis_matrix @ power
+        points.append(tuple(weyl_coordinates(power)))
+
+    if depth == 1:
+        return np.array(points, dtype=float)
+
+    num_structured = int(num_samples * structured_fraction)
+    for index in range(num_samples):
+        product = np.array(basis_matrix)
+        for _ in range(depth - 1):
+            if index < num_structured:
+                local = _structured_local(rng)
+            else:
+                local = _random_local(rng)
+            product = basis_matrix @ local @ product
+        points.append(tuple(weyl_coordinates(product)))
+    return np.array(points, dtype=float)
+
+
+def _anchor_landmarks(
+    basis: str, depth: int, seed: int | np.random.Generator | None = None
+) -> list[tuple[float, float, float]]:
+    """Landmark coordinates provably (numerically) reachable at this depth."""
+    from repro.decompose.numerical import optimize_to_coordinate
+
+    rng = _as_rng(seed)
+    anchors = []
+    for landmark in _LANDMARKS:
+        result = optimize_to_coordinate(
+            landmark, basis, depth, trials=3, maxiter=250, tol=1e-3, seed=rng
+        )
+        if result.success:
+            anchors.append(landmark)
+    return anchors
+
+
+def _split_by_mirror_branch(points: np.ndarray) -> list[np.ndarray]:
+    """Split a point cloud at ``a = pi/4`` so each part maps affinely under Eq. 1."""
+    points = np.atleast_2d(points)
+    low = points[points[:, 0] <= PI4 + 1e-9]
+    high = points[points[:, 0] > PI4 - 1e-9]
+    return [part for part in (low, high) if len(part)]
+
+
+@dataclasses.dataclass
+class CircuitPolytope:
+    """Reachable region of a depth-``k`` ansatz for one basis gate.
+
+    The region is a union of convex pieces (a single piece for the standard
+    polytope; typically two once mirror images are included).
+
+    Attributes:
+        basis: basis gate name.
+        depth: number of basis applications ``k``.
+        cost: normalised pulse cost ``k * basis_gate_cost(basis)``.
+        pieces: convex components whose union is the region.
+        mirrored: whether the region includes mirror-gate images.
+    """
+
+    basis: str
+    depth: int
+    cost: float
+    pieces: list[WeylPolytope]
+    mirrored: bool = False
+
+    def contains(self, coordinate: Iterable[float], atol: float = 1e-6) -> bool:
+        point = tuple(coordinate)
+        return any(piece.contains(point, atol=atol) for piece in self.pieces)
+
+    def contains_mask(self, samples: np.ndarray, atol: float = 1e-6) -> np.ndarray:
+        samples = np.atleast_2d(samples)
+        mask = np.zeros(len(samples), dtype=bool)
+        for piece in self.pieces:
+            mask |= piece.contains_mask(samples, atol=atol)
+        return mask
+
+    def haar_volume(self, samples: np.ndarray, atol: float = 1e-6) -> float:
+        """Haar-weighted volume estimated over precomputed Haar samples."""
+        return float(np.mean(self.contains_mask(samples, atol=atol)))
+
+    def nearest_point(self, coordinate: Iterable[float]) -> np.ndarray:
+        """Closest point of the region to ``coordinate`` (Euclidean)."""
+        point = tuple(coordinate)
+        best: np.ndarray | None = None
+        best_distance = np.inf
+        for piece in self.pieces:
+            candidate = piece.nearest_point(point)
+            distance = float(np.linalg.norm(candidate - np.asarray(point)))
+            if distance < best_distance:
+                best_distance = distance
+                best = candidate
+        if best is None:
+            raise CoverageError("circuit polytope has no pieces")
+        return best
+
+    @property
+    def label(self) -> str:
+        suffix = "+mirror" if self.mirrored else ""
+        return f"{self.basis} k={self.depth}{suffix}"
+
+
+def build_circuit_polytope(
+    basis: str,
+    depth: int,
+    *,
+    num_samples: int = 1500,
+    seed: int = 7,
+    mirror: bool = False,
+    anchor: bool = True,
+    cumulative_points: np.ndarray | None = None,
+) -> CircuitPolytope:
+    """Build the reachable region of ``depth`` applications of ``basis``.
+
+    Args:
+        basis: basis gate name.
+        depth: ansatz depth ``k``.
+        num_samples: random ansatz samples.
+        seed: RNG seed (deterministic builds).
+        mirror: include the mirror image of the region.
+        anchor: verify landmark gates numerically and pin them to the hull.
+        cumulative_points: points known reachable at lower depth (the region
+            is monotone in ``k``), stacked into the hull.
+
+    Returns:
+        The constructed :class:`CircuitPolytope`.
+    """
+    points = sample_ansatz_coordinates(basis, depth, num_samples, seed=seed)
+    if cumulative_points is not None and len(cumulative_points):
+        points = np.vstack([points, cumulative_points])
+    if anchor and depth > 1:
+        anchors = _anchor_landmarks(basis, depth, seed=seed + depth)
+        if anchors:
+            points = np.vstack([points, np.array(anchors)])
+
+    pieces = [WeylPolytope(points, name=f"{basis}-k{depth}")]
+    if mirror:
+        for part in _split_by_mirror_branch(points):
+            mirrored_points = np.array(
+                [mirror_coordinate(row) for row in part]
+            )
+            pieces.append(
+                WeylPolytope(mirrored_points, name=f"{basis}-k{depth}-mirror")
+            )
+    cost = depth * basis_gate_cost(basis)
+    return CircuitPolytope(
+        basis=basis, depth=depth, cost=cost, pieces=pieces, mirrored=mirror
+    )
+
+
+def _identity_polytope(basis: str, mirrored: bool) -> CircuitPolytope:
+    """The zero-cost region: the identity class (plus SWAP when mirrored).
+
+    A gate whose class is the identity needs no basis pulses at all; with
+    mirror gates allowed, a SWAP is also free because it is the mirror of
+    the identity (this is exactly the "mirage SWAP" of the paper).
+    """
+    pieces = [WeylPolytope(np.zeros((1, 3)), name=f"{basis}-k0")]
+    if mirrored:
+        pieces.append(
+            WeylPolytope(np.array([[PI4, PI4, PI4]]), name=f"{basis}-k0-mirror")
+        )
+    return CircuitPolytope(
+        basis=basis, depth=0, cost=0.0, pieces=pieces, mirrored=mirrored
+    )
+
+
+def _full_chamber_polytope(basis: str, depth: int, mirrored: bool) -> CircuitPolytope:
+    """A polytope covering the entire chamber (guaranteed-coverage depth)."""
+    return CircuitPolytope(
+        basis=basis,
+        depth=depth,
+        cost=depth * basis_gate_cost(basis),
+        pieces=[WeylPolytope(chamber_vertices(), name=f"{basis}-full")],
+        mirrored=mirrored,
+    )
+
+
+class CoverageSet:
+    """Ordered (by cost) coverage polytopes of one basis gate.
+
+    Provides the minimum-cost decomposition estimate used throughout MIRAGE
+    and the Haar-score analyses.  Cost queries are memoised on a rounded
+    coordinate key, reproducing the LRU lookup table described in the
+    paper's Section VI-C.
+    """
+
+    def __init__(
+        self,
+        basis: str,
+        polytopes: Sequence[CircuitPolytope],
+        *,
+        mirrored: bool = False,
+        atol: float = 1e-6,
+    ) -> None:
+        if not polytopes:
+            raise CoverageError("a coverage set needs at least one polytope")
+        self.basis = basis
+        self.mirrored = mirrored
+        self.atol = atol
+        self.polytopes = sorted(polytopes, key=lambda poly: poly.cost)
+        self._cost_cache: dict[tuple[float, float, float], float] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def max_cost(self) -> float:
+        return self.polytopes[-1].cost
+
+    @property
+    def unit_cost(self) -> float:
+        return basis_gate_cost(self.basis)
+
+    def polytope_for_depth(self, depth: int) -> CircuitPolytope:
+        for polytope in self.polytopes:
+            if polytope.depth == depth:
+                return polytope
+        raise CoverageError(f"no polytope of depth {depth} in coverage set")
+
+    def cost_of(self, coordinate: Iterable[float]) -> float:
+        """Minimum decomposition cost of a canonical coordinate."""
+        point = tuple(float(x) for x in coordinate)
+        key = (round(point[0], 6), round(point[1], 6), round(point[2], 6))
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
+        cost = self._uncached_cost(point)
+        self._cost_cache[key] = cost
+        return cost
+
+    def _uncached_cost(self, point: tuple[float, float, float]) -> float:
+        for polytope in self.polytopes:
+            if polytope.contains(point, atol=self.atol):
+                return polytope.cost
+        # The last polytope covers the full chamber by construction, so this
+        # is only reachable for points slightly outside the chamber.
+        return self.max_cost
+
+    def depth_of(self, coordinate: Iterable[float]) -> int:
+        """Minimum number of basis applications for a coordinate."""
+        cost = self.cost_of(coordinate)
+        return int(round(cost / self.unit_cost))
+
+    def mirror_cost_of(self, coordinate: Iterable[float]) -> float:
+        """Cost of the mirror class of a coordinate."""
+        return self.cost_of(mirror_coordinate(tuple(coordinate)))
+
+    def cheaper_polytopes(self, cost: float) -> list[CircuitPolytope]:
+        """Polytopes strictly cheaper than ``cost`` (for approximation)."""
+        return [poly for poly in self.polytopes if poly.cost < cost - 1e-12]
+
+    def haar_volumes(self, samples: np.ndarray, atol: float | None = None) -> dict[int, float]:
+        """Haar-weighted coverage per depth, estimated on ``samples``."""
+        atol = self.atol if atol is None else atol
+        return {
+            polytope.depth: polytope.haar_volume(samples, atol=atol)
+            for polytope in self.polytopes
+        }
+
+    def cache_info(self) -> dict[str, int]:
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cost_cache),
+        }
+
+    def clear_cache(self) -> None:
+        self._cost_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        depths = [poly.depth for poly in self.polytopes]
+        return (
+            f"CoverageSet(basis={self.basis!r}, depths={depths}, "
+            f"mirrored={self.mirrored})"
+        )
+
+
+def build_coverage_set(
+    basis: str,
+    *,
+    max_depth: int | None = None,
+    num_samples: int = 1500,
+    seed: int = 7,
+    mirror: bool = False,
+    anchor: bool = True,
+    atol: float = 1e-6,
+) -> CoverageSet:
+    """Build the full coverage set of a basis gate.
+
+    Depths ``1 .. max_depth`` are built cumulatively (each region includes
+    all shallower regions).  The deepest polytope is replaced by the full
+    Weyl chamber because at that depth coverage is guaranteed analytically,
+    which in turn guarantees ``cost_of`` always terminates with a finite
+    answer.
+    """
+    if max_depth is None:
+        max_depth = max_exact_depth(basis)
+        if mirror:
+            # With mirrors the SWAP corner costs nothing, so full coverage is
+            # reached at the depth that covers the mirror of the chamber;
+            # keep the same bound — the final chamber polytope handles it.
+            max_depth = max(2, max_depth)
+    polytopes: list[CircuitPolytope] = [_identity_polytope(basis, mirror)]
+    cumulative: np.ndarray | None = None
+    for depth in range(1, max_depth + 1):
+        if depth == max_depth:
+            polytopes.append(_full_chamber_polytope(basis, depth, mirror))
+            continue
+        polytope = build_circuit_polytope(
+            basis,
+            depth,
+            num_samples=num_samples,
+            seed=seed,
+            mirror=mirror,
+            anchor=anchor,
+            cumulative_points=cumulative,
+        )
+        polytopes.append(polytope)
+        base_points = polytope.pieces[0].points
+        cumulative = base_points
+    return CoverageSet(basis, polytopes, mirrored=mirror, atol=atol)
+
+
+@lru_cache(maxsize=32)
+def get_coverage_set(
+    basis: str,
+    mirror: bool = False,
+    *,
+    num_samples: int = 1200,
+    seed: int = 7,
+    max_depth: int | None = None,
+) -> CoverageSet:
+    """Shared, memoised coverage sets used by the transpiler and benches."""
+    return build_coverage_set(
+        basis,
+        max_depth=max_depth,
+        num_samples=num_samples,
+        seed=seed,
+        mirror=mirror,
+    )

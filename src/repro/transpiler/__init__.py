@@ -1,0 +1,37 @@
+"""Transpiler substrate: topologies, layouts, metrics, SABRE baseline."""
+
+from repro.transpiler.layout import Layout, apply_layout, interaction_graph, vf2_layout
+from repro.transpiler.metrics import CircuitMetrics, evaluate, gate_cost, improvement, node_coordinate
+from repro.transpiler.passmanager import PassManager, PassRecord
+from repro.transpiler.topologies import (
+    CouplingMap,
+    all_to_all_topology,
+    grid_topology,
+    heavy_hex_topology,
+    line_topology,
+    ring_topology,
+    square_lattice_topology,
+    topology_by_name,
+)
+
+__all__ = [
+    "Layout",
+    "apply_layout",
+    "interaction_graph",
+    "vf2_layout",
+    "CircuitMetrics",
+    "evaluate",
+    "gate_cost",
+    "improvement",
+    "node_coordinate",
+    "PassManager",
+    "PassRecord",
+    "CouplingMap",
+    "all_to_all_topology",
+    "grid_topology",
+    "heavy_hex_topology",
+    "line_topology",
+    "ring_topology",
+    "square_lattice_topology",
+    "topology_by_name",
+]

@@ -1,0 +1,32 @@
+"""Transpiler passes: cleaning, unrolling, consolidation, SABRE routing."""
+
+from repro.transpiler.passes.cleanup import (
+    clean_input,
+    elide_input_swaps,
+    remove_directives,
+    remove_identity_gates,
+)
+from repro.transpiler.passes.consolidate import consolidate_blocks
+from repro.transpiler.passes.sabre_layout import (
+    LayoutResult,
+    SabreLayout,
+    depth_metric,
+    swap_count_metric,
+)
+from repro.transpiler.passes.sabre_swap import RoutingResult, SabreSwap
+from repro.transpiler.passes.unroll import unroll_to_two_qubit
+
+__all__ = [
+    "clean_input",
+    "elide_input_swaps",
+    "remove_directives",
+    "remove_identity_gates",
+    "consolidate_blocks",
+    "LayoutResult",
+    "SabreLayout",
+    "depth_metric",
+    "swap_count_metric",
+    "RoutingResult",
+    "SabreSwap",
+    "unroll_to_two_qubit",
+]

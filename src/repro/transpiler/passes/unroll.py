@@ -1,0 +1,64 @@
+"""Unrolling of gates with more than two qubits.
+
+Routing only understands one- and two-qubit operations; this pass expands
+the three-qubit gates used by the benchmark generators (Toffoli, Fredkin,
+CCZ) into the standard CNOT + T constructions.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TranspilerError
+from repro.circuits.circuit import QuantumCircuit
+
+
+def _toffoli(circuit: QuantumCircuit, a: int, b: int, c: int) -> None:
+    """Standard 6-CNOT Toffoli decomposition."""
+    circuit.h(c)
+    circuit.cx(b, c)
+    circuit.tdg(c)
+    circuit.cx(a, c)
+    circuit.t(c)
+    circuit.cx(b, c)
+    circuit.tdg(c)
+    circuit.cx(a, c)
+    circuit.t(b)
+    circuit.t(c)
+    circuit.h(c)
+    circuit.cx(a, b)
+    circuit.t(a)
+    circuit.tdg(b)
+    circuit.cx(a, b)
+
+
+def _ccz(circuit: QuantumCircuit, a: int, b: int, c: int) -> None:
+    circuit.h(c)
+    _toffoli(circuit, a, b, c)
+    circuit.h(c)
+
+
+def _fredkin(circuit: QuantumCircuit, control: int, x: int, y: int) -> None:
+    """Fredkin = CNOT-conjugated Toffoli."""
+    circuit.cx(y, x)
+    _toffoli(circuit, control, x, y)
+    circuit.cx(y, x)
+
+
+def unroll_to_two_qubit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Expand every >2-qubit gate into one- and two-qubit gates."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    for instruction in circuit:
+        gate = instruction.gate
+        if gate.is_directive or gate.num_qubits <= 2:
+            out.append_instruction(instruction)
+            continue
+        if gate.name == "ccx":
+            _toffoli(out, *instruction.qubits)
+        elif gate.name == "ccz":
+            _ccz(out, *instruction.qubits)
+        elif gate.name == "cswap":
+            _fredkin(out, *instruction.qubits)
+        else:
+            raise TranspilerError(
+                f"no unrolling rule for {gate.num_qubits}-qubit gate {gate.name!r}"
+            )
+    return out

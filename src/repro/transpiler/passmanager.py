@@ -1,0 +1,57 @@
+"""A small sequential pass manager.
+
+Passes are plain callables from :class:`QuantumCircuit` to
+:class:`QuantumCircuit`; the manager runs them in order and records the
+name and duration of each stage for the runtime benchmarks (paper Fig. 13).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+
+CircuitPass = Callable[[QuantumCircuit], QuantumCircuit]
+
+
+@dataclasses.dataclass(frozen=True)
+class PassRecord:
+    """Timing record of one executed pass."""
+
+    name: str
+    seconds: float
+    gates_before: int
+    gates_after: int
+
+
+class PassManager:
+    """Run a fixed sequence of circuit-to-circuit passes."""
+
+    def __init__(self, passes: Sequence[tuple[str, CircuitPass]]) -> None:
+        self.passes = list(passes)
+        self.records: list[PassRecord] = []
+
+    def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        self.records = []
+        current = circuit
+        for name, stage in self.passes:
+            start = time.perf_counter()
+            gates_before = len(current)
+            current = stage(current)
+            self.records.append(
+                PassRecord(
+                    name=name,
+                    seconds=time.perf_counter() - start,
+                    gates_before=gates_before,
+                    gates_after=len(current),
+                )
+            )
+        return current
+
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.records)
+
+    def report(self) -> list[dict[str, float | str | int]]:
+        return [dataclasses.asdict(record) for record in self.records]

@@ -1,0 +1,230 @@
+"""Extraction of Weyl (canonical) coordinates from two-qubit unitaries.
+
+Every two-qubit unitary ``U`` is locally equivalent to a canonical gate
+``CAN(a, b, c)``; the triple ``(a, b, c)``, reduced to the canonical Weyl
+chamber, is the *Weyl coordinate* of ``U``.  MIRAGE performs all of its
+decomposition-cost reasoning on these coordinates, never on raw matrices
+(paper Section VI-C), so this module is on the transpiler's hot path and the
+expensive extraction is memoised by callers (see
+:mod:`repro.polytopes.cache`).
+
+The extraction algorithm follows the standard magic-basis construction: the
+eigenvalue phases of ``(M^dag U M)^T (M^dag U M)`` are, up to branch and
+ordering ambiguities, the four combinations ``±a ± b ± c``.  Rather than
+reproduce the delicate branch-folding logic of existing transpilers, we
+enumerate the small set of candidate pairings and accept the first whose
+Makhlin invariants match those of ``U`` exactly — a self-verifying approach
+that is robust for degenerate spectra (CNOT, SWAP, identity, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import WeylError
+from repro.linalg.constants import MAGIC, MAGIC_DAG
+from repro.weyl.canonical import (
+    PI2,
+    PI4,
+    canonical_gate,
+    canonicalize_coordinate,
+    in_weyl_chamber,
+)
+from repro.weyl.invariants import (
+    invariants_close,
+    makhlin_from_coordinate,
+    makhlin_invariants,
+)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class WeylCoordinate:
+    """A point of the canonical Weyl chamber.
+
+    Instances are immutable, hashable (useful as cache keys once rounded)
+    and ordered lexicographically.
+    """
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if not in_weyl_chamber((self.a, self.b, self.c), atol=1e-6):
+            raise WeylError(
+                f"({self.a}, {self.b}, {self.c}) is not inside the Weyl chamber"
+            )
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_raw(cls, coordinate: Iterable[float]) -> "WeylCoordinate":
+        """Canonicalise an arbitrary triple and wrap it."""
+        a, b, c = canonicalize_coordinate(coordinate)
+        return cls(a, b, c)
+
+    @classmethod
+    def from_unitary(cls, unitary: np.ndarray) -> "WeylCoordinate":
+        """Extract the coordinate of a 4x4 unitary."""
+        return cls.from_raw(weyl_coordinates(unitary))
+
+    # -- views ---------------------------------------------------------
+
+    def to_tuple(self) -> tuple[float, float, float]:
+        return (self.a, self.b, self.c)
+
+    def to_array(self) -> np.ndarray:
+        return np.array([self.a, self.b, self.c], dtype=float)
+
+    def rounded(self, decimals: int = 9) -> tuple[float, float, float]:
+        """Rounded tuple suitable for use as a dictionary cache key."""
+        return (
+            round(self.a, decimals),
+            round(self.b, decimals),
+            round(self.c, decimals),
+        )
+
+    def canonical_unitary(self) -> np.ndarray:
+        """The canonical-gate representative ``CAN(a, b, c)``."""
+        return canonical_gate(self.a, self.b, self.c)
+
+    # -- predicates ----------------------------------------------------
+
+    def is_identity(self, atol: float = 1e-7) -> bool:
+        return max(abs(self.a), abs(self.b), abs(self.c)) <= atol
+
+    def is_swap(self, atol: float = 1e-7) -> bool:
+        return (
+            abs(self.a - PI4) <= atol
+            and abs(self.b - PI4) <= atol
+            and abs(self.c - PI4) <= atol
+        )
+
+    def isclose(self, other: "WeylCoordinate", atol: float = 1e-6) -> bool:
+        return bool(
+            np.allclose(self.to_tuple(), other.to_tuple(), atol=atol)
+        )
+
+    # -- convenience ---------------------------------------------------
+
+    def __iter__(self):
+        return iter((self.a, self.b, self.c))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WeylCoordinate({self.a:.6f}, {self.b:.6f}, {self.c:.6f})"
+
+
+def _candidate_coordinates(thetas: np.ndarray) -> Iterable[tuple[float, float, float]]:
+    """Yield candidate (a, b, c) triples from the four eigen-phase halves.
+
+    The phases satisfy (up to ordering and mod-pi branches)
+
+        theta_1 = a - b + c,  theta_2 = a + b - c,
+        theta_3 = -a + b + c, theta_4 = -(a + b + c)
+
+    so each ordered choice of three of them produces a candidate via the
+    linear map ``a = (t1 + t2)/2, b = (t2 + t3)/2, c = (t1 + t3)/2``.
+    Branch shifts of +pi are folded away later by canonicalisation.
+    """
+    for selection in itertools.permutations(range(4), 3):
+        t1, t2, t3 = (thetas[i] for i in selection)
+        yield ((t1 + t2) / 2.0, (t2 + t3) / 2.0, (t1 + t3) / 2.0)
+    # Branch-shifted variants (rarely needed, but cheap to enumerate) — add
+    # pi to one of the selected phases.
+    for selection in itertools.permutations(range(4), 3):
+        base = [thetas[i] for i in selection]
+        for shift_index in range(3):
+            shifted = list(base)
+            shifted[shift_index] += math.pi
+            t1, t2, t3 = shifted
+            yield ((t1 + t2) / 2.0, (t2 + t3) / 2.0, (t1 + t3) / 2.0)
+
+
+def weyl_coordinates(
+    unitary: np.ndarray, atol: float = 1e-6
+) -> tuple[float, float, float]:
+    """Canonical Weyl coordinates of a two-qubit unitary.
+
+    Args:
+        unitary: a 4x4 unitary matrix (any global phase).
+        atol: tolerance used when matching Makhlin invariants.
+
+    Returns:
+        The canonical ``(a, b, c)`` triple inside the Weyl chamber.
+
+    Raises:
+        WeylError: if no candidate reproduces the unitary's local invariants
+            (which indicates a non-unitary input).
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.shape != (4, 4):
+        raise WeylError(f"expected a 4x4 matrix, got shape {unitary.shape}")
+
+    det = np.linalg.det(unitary)
+    if abs(abs(det) - 1.0) > 1e-6:
+        raise WeylError("matrix is not unitary (|det| != 1)")
+    target_invariants = makhlin_invariants(unitary)
+    su = unitary / det**0.25
+
+    um = MAGIC_DAG @ su @ MAGIC
+    gamma = um.T @ um
+    eigenvalues = np.linalg.eigvals(gamma)
+    # Normalise away numerical drift off the unit circle.
+    eigenvalues = eigenvalues / np.abs(eigenvalues)
+    thetas = np.angle(eigenvalues) / 2.0
+
+    best_fallback: tuple[float, tuple[float, float, float]] | None = None
+    for raw in _candidate_coordinates(thetas):
+        candidate = canonicalize_coordinate(raw)
+        cand_inv = makhlin_from_coordinate(candidate)
+        if invariants_close(cand_inv, target_invariants, atol=atol):
+            return candidate
+        error = float(
+            np.linalg.norm(np.subtract(cand_inv, target_invariants))
+        )
+        if best_fallback is None or error < best_fallback[0]:
+            best_fallback = (error, candidate)
+
+    # Accept a slightly looser match before giving up — the invariant
+    # comparison amplifies coordinate error near chamber edges.
+    if best_fallback is not None and best_fallback[0] < 1e-3:
+        return best_fallback[1]
+    raise WeylError("could not determine Weyl coordinates for the given matrix")
+
+
+def coordinate_distance(
+    left: Iterable[float], right: Iterable[float]
+) -> float:
+    """Euclidean distance between two canonical coordinates."""
+    return float(
+        np.linalg.norm(np.subtract(tuple(left), tuple(right)))
+    )
+
+
+def canonical_trace_fidelity(
+    left: Iterable[float], right: Iterable[float]
+) -> float:
+    """Average-gate-fidelity proxy between two canonical classes.
+
+    The trace overlap between ``CAN(x)`` and ``CAN(y)`` evaluated at the
+    coordinate difference ``d = x - y``::
+
+        Tr(CAN(y)^dag CAN(x)) = 4 * cos(da) cos(db) cos(dc)
+                                 - 4 i sin(da) sin(db) sin(dc)
+
+    which we convert to an average gate fidelity ``(|Tr|^2/16 * 4 + 1)/5``.
+    This is the decomposition-fidelity estimate used by the approximate
+    decomposition search; it is exact when the optimal local corrections are
+    the identity and a tight, cheap proxy otherwise.
+    """
+    da, db, dc = np.subtract(tuple(left), tuple(right))
+    real = math.cos(da) * math.cos(db) * math.cos(dc)
+    imag = math.sin(da) * math.sin(db) * math.sin(dc)
+    trace_sq = 16.0 * (real * real + imag * imag)
+    entanglement_fidelity = trace_sq / 16.0
+    return float((4.0 * entanglement_fidelity + 1.0) / 5.0)

@@ -1,0 +1,78 @@
+"""Makhlin local invariants of two-qubit unitaries.
+
+Two two-qubit unitaries are locally equivalent (related by single-qubit
+gates) if and only if their Makhlin invariants ``(g1, g2, g3)`` coincide.
+They are used here to *verify* candidate Weyl coordinates extracted from a
+unitary — the eigenvalue-based coordinate extraction has branch ambiguities
+that the invariants resolve unambiguously.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.linalg.constants import MAGIC, MAGIC_DAG
+
+
+def makhlin_invariants(unitary: np.ndarray) -> tuple[float, float, float]:
+    """Makhlin invariants ``(g1, g2, g3)`` of a two-qubit unitary.
+
+    Following Makhlin (2002): with ``m = (M^dag U M)^T (M^dag U M)`` in the
+    magic basis,
+
+        g1 + i g2 = Tr(m)^2 / (16 det U)
+        g3        = (Tr(m)^2 - Tr(m^2)) / (4 det U)
+
+    ``g3`` is real for any unitary; tiny imaginary parts are discarded.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    det = np.linalg.det(unitary)
+    um = MAGIC_DAG @ unitary @ MAGIC
+    m = um.T @ um
+    tr = np.trace(m)
+    tr2 = np.trace(m @ m)
+    g12 = tr**2 / (16 * det)
+    g3 = (tr**2 - tr2) / (4 * det)
+    return float(g12.real), float(g12.imag), float(g3.real)
+
+
+def makhlin_from_coordinate(
+    coordinate: Iterable[float],
+) -> tuple[float, float, float]:
+    """Makhlin invariants of the canonical gate ``CAN(a, b, c)``.
+
+    Uses the closed form in terms of the *unhalved* canonical angles
+    ``c_i = 2 * coordinate_i`` (Zhang et al. 2003):
+
+        g1 = cos^2 c1 cos^2 c2 cos^2 c3 - sin^2 c1 sin^2 c2 sin^2 c3
+        g2 = (1/4) sin 2c1 sin 2c2 sin 2c3
+        g3 = 4 g1 - cos 2c1 cos 2c2 cos 2c3
+    """
+    a, b, c = (2.0 * float(x) for x in coordinate)
+    cos_prod = math.cos(a) * math.cos(b) * math.cos(c)
+    sin_prod = math.sin(a) * math.sin(b) * math.sin(c)
+    g1 = cos_prod**2 - sin_prod**2
+    g2 = 0.25 * math.sin(2 * a) * math.sin(2 * b) * math.sin(2 * c)
+    g3 = 4 * g1 - math.cos(2 * a) * math.cos(2 * b) * math.cos(2 * c)
+    return g1, g2, g3
+
+
+def invariants_close(
+    left: tuple[float, float, float],
+    right: tuple[float, float, float],
+    atol: float = 1e-6,
+) -> bool:
+    """Whether two invariant triples agree within ``atol``."""
+    return bool(np.allclose(left, right, atol=atol))
+
+
+def locally_equivalent(
+    unitary_a: np.ndarray, unitary_b: np.ndarray, atol: float = 1e-6
+) -> bool:
+    """Whether two two-qubit unitaries are equal up to single-qubit gates."""
+    return invariants_close(
+        makhlin_invariants(unitary_a), makhlin_invariants(unitary_b), atol=atol
+    )

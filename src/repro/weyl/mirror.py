@@ -1,0 +1,68 @@
+"""The mirror-gate transform (paper Eq. 1).
+
+The *mirror* of a two-qubit gate ``U`` is ``U' = SWAP . U`` — the gate that,
+followed by exchanging its output wires, implements the same operation as
+``U``.  In Weyl coordinates the transform has the closed form of Eq. 1 of
+the paper, which lets MIRAGE evaluate the decomposition cost of a mirror
+candidate without any matrix arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.linalg.constants import SWAP
+from repro.weyl.canonical import PI4, canonicalize_coordinate
+from repro.weyl.coordinates import WeylCoordinate
+
+
+def mirror_coordinate(
+    coordinate: Iterable[float],
+) -> tuple[float, float, float]:
+    """Weyl coordinate of the mirror gate ``SWAP . U`` given the coordinate of ``U``.
+
+    Implements paper Eq. 1 in the positive canonical basis::
+
+        (a', b', c') = (pi/4 + c, pi/4 - b, pi/4 - a)   if a <= pi/4
+                       (pi/4 - c, pi/4 - b, a - pi/4)   otherwise
+
+    The result is re-canonicalised into the Weyl chamber (the raw formula
+    can produce an unsorted triple).
+
+    Notable fixed relationships::
+
+        CNOT   (pi/4, 0, 0)        ->  iSWAP (pi/4, pi/4, 0)
+        iSWAP                      ->  CNOT
+        identity                   ->  SWAP
+        SWAP                       ->  identity
+        CPHASE(theta)              ->  pSWAP(theta)
+    """
+    a, b, c = (float(x) for x in coordinate)
+    if a <= PI4 + 1e-12:
+        raw = (PI4 + c, PI4 - b, PI4 - a)
+    else:
+        raw = (PI4 - c, PI4 - b, a - PI4)
+    return canonicalize_coordinate(raw)
+
+
+def mirror_weyl(coordinate: WeylCoordinate) -> WeylCoordinate:
+    """:class:`WeylCoordinate` version of :func:`mirror_coordinate`."""
+    return WeylCoordinate(*mirror_coordinate(coordinate.to_tuple()))
+
+
+def mirror_unitary(unitary: np.ndarray) -> np.ndarray:
+    """Matrix of the mirror gate ``SWAP @ U``."""
+    return SWAP @ np.asarray(unitary, dtype=complex)
+
+
+def is_self_mirror(coordinate: Iterable[float], atol: float = 1e-7) -> bool:
+    """Whether a gate's mirror lies in the same local-equivalence class.
+
+    Self-mirror points are the fixed plane of Eq. 1; the B gate
+    ``(pi/4, pi/8, 0)`` is the best-known example.
+    """
+    original = canonicalize_coordinate(coordinate)
+    mirrored = mirror_coordinate(coordinate)
+    return bool(np.allclose(original, mirrored, atol=atol))

@@ -1,0 +1,171 @@
+"""Tests for the Table III benchmark circuit generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import (
+    TABLE_III_SUITE,
+    amplitude_estimation,
+    benchmark_circuit,
+    benchmark_suite,
+    bernstein_vazirani,
+    bigadder,
+    efficient_su2,
+    ghz,
+    knn,
+    portfolio_qaoa,
+    qaoa_maxcut,
+    qec9xz,
+    qft,
+    qft_entangled,
+    qpe_exact,
+    qram,
+    sat,
+    seca,
+    swap_test,
+    twolocal_full,
+    wstate,
+)
+from repro.circuits.library.suite import suite_inventory
+from repro.transpiler.passes.unroll import unroll_to_two_qubit
+
+
+def test_table_iii_suite_builds_with_expected_sizes():
+    rows = suite_inventory()
+    assert len(rows) == 15
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["wstate_n27"]["qubits"] == 27
+    assert by_name["qft_n18"]["qubits"] == 18
+    assert by_name["bv_n30"]["qubits"] == 30
+    # Every circuit must actually contain two-qubit work for the router.
+    assert all(row["two_qubit_gates"] > 0 for row in rows)
+
+
+def test_benchmark_circuit_lookup():
+    circuit = benchmark_circuit("qft", 6)
+    assert circuit.num_qubits == 6
+    with pytest.raises(ValueError):
+        benchmark_circuit("not_a_benchmark")
+
+
+def test_benchmark_suite_subset():
+    subset = benchmark_suite(["qft", "bv"])
+    assert {c.name.split("_n")[0] for c in subset} == {"qft", "bv"}
+
+
+def test_ghz_statevector():
+    state = ghz(3).statevector()
+    assert np.isclose(abs(state[0]) ** 2, 0.5)
+    assert np.isclose(abs(state[-1]) ** 2, 0.5)
+
+
+def test_wstate_statevector_is_w_state():
+    state = wstate(4).statevector()
+    probabilities = np.abs(state) ** 2
+    single_excitation = [1 << k for k in range(4)]
+    assert np.isclose(sum(probabilities[i] for i in single_excitation), 1.0, atol=1e-9)
+    assert np.allclose(
+        [probabilities[i] for i in single_excitation], 0.25, atol=1e-9
+    )
+
+
+def test_qft_matrix_matches_dft():
+    num_qubits = 3
+    matrix = qft(num_qubits, do_swaps=True).to_matrix()
+    dim = 2**num_qubits
+    omega = np.exp(2j * np.pi / dim)
+    dft = np.array(
+        [[omega ** (row * col) for col in range(dim)] for row in range(dim)]
+    ) / math.sqrt(dim)
+    assert np.allclose(matrix, dft, atol=1e-9)
+
+
+def test_qft_approximation_degree_reduces_gates():
+    exact = qft(8)
+    approximate = qft(8, approximation_degree=4)
+    assert approximate.num_two_qubit_gates() < exact.num_two_qubit_gates()
+
+
+def test_qft_entangled_contains_qft_and_ghz_prefix():
+    circuit = qft_entangled(5)
+    names = [instr.gate.name for instr in circuit]
+    assert names[0] == "h"
+    assert "cp" in names and "swap" in names
+
+
+def test_bernstein_vazirani_measures_secret():
+    secret = 0b101
+    circuit = bernstein_vazirani(4, secret=secret)
+    state = circuit.statevector()
+    probabilities = np.abs(state) ** 2
+    # The data register (qubits 0-2) should hold the secret; ancilla is in |->.
+    data_distribution = np.zeros(8)
+    for index, p in enumerate(probabilities):
+        data_distribution[index & 0b111] += p
+    assert np.isclose(data_distribution[secret], 1.0, atol=1e-9)
+
+
+def test_qpe_exact_structure():
+    circuit = qpe_exact(6)
+    assert circuit.num_qubits == 6
+    assert circuit.num_two_qubit_gates() > 5
+
+
+def test_amplitude_estimation_structure():
+    circuit = amplitude_estimation(8)
+    assert circuit.num_qubits == 8
+    assert circuit.num_two_qubit_gates() > 10
+    with pytest.raises(ValueError):
+        amplitude_estimation(2)
+
+
+def test_arithmetic_circuits_unroll_cleanly():
+    for circuit in (bigadder(12), benchmark_circuit("multiplier", 9)):
+        unrolled = unroll_to_two_qubit(circuit)
+        assert unrolled.num_two_qubit_gates() > 0
+        assert all(len(instr.qubits) <= 2 for instr in unrolled)
+
+
+def test_error_correction_circuits():
+    assert qec9xz(17).num_qubits == 17
+    assert seca(11).num_two_qubit_gates() > 5
+
+
+def test_qram_and_validation():
+    circuit = qram(16)
+    assert circuit.num_qubits == 16
+    with pytest.raises(ValueError):
+        qram(4)
+
+
+def test_qml_circuits():
+    assert swap_test(9).num_qubits == 9
+    assert knn(9).count_ops()["cswap"] == 4
+    assert sat(11).num_two_qubit_gates() > 10
+    dense = portfolio_qaoa(6, layers=1)
+    assert dense.count_ops()["rzz"] == 15  # fully connected cost layer
+
+
+def test_qaoa_maxcut_regular_graph():
+    circuit = qaoa_maxcut(8, layers=2, degree=3, seed=1)
+    assert circuit.count_ops()["rzz"] == 2 * (8 * 3 // 2)
+
+
+def test_twolocal_and_efficient_su2():
+    full = twolocal_full(4)
+    assert full.count_ops()["cx"] == 6
+    linear = efficient_su2(5, reps=2)
+    assert linear.count_ops()["cx"] == 8
+
+
+def test_generators_reject_tiny_sizes():
+    with pytest.raises(ValueError):
+        wstate(1)
+    with pytest.raises(ValueError):
+        bernstein_vazirani(1)
+    with pytest.raises(ValueError):
+        swap_test(2)
+    with pytest.raises(ValueError):
+        sat(3)

@@ -1,0 +1,82 @@
+"""Tests for the numerical ansatz decomposer."""
+
+import numpy as np
+import pytest
+
+from repro.decompose import (
+    best_approximation_fidelity,
+    interleaved_ansatz_matrix,
+    is_reachable,
+    middle_local_matrix,
+    optimize_to_coordinate,
+)
+from repro.exceptions import DecompositionError
+from repro.linalg import SQRT_ISWAP, is_unitary
+from repro.weyl import CNOT_COORD, ISWAP_COORD, SQRT_ISWAP_COORD, SWAP_COORD
+
+
+def test_middle_local_matrix_is_unitary():
+    assert is_unitary(middle_local_matrix([0.1, 0.2, 0.3, 0.4, 0.5, 0.6]))
+
+
+def test_interleaved_ansatz_depth_one():
+    product = interleaved_ansatz_matrix(SQRT_ISWAP, [])
+    assert np.allclose(product, SQRT_ISWAP)
+
+
+def test_interleaved_ansatz_rejects_bad_length():
+    with pytest.raises(DecompositionError):
+        interleaved_ansatz_matrix(SQRT_ISWAP, [0.1, 0.2])
+
+
+def test_interleaved_ansatz_identity_locals_gives_power():
+    product = interleaved_ansatz_matrix(SQRT_ISWAP, [0.0] * 6)
+    assert np.allclose(product, SQRT_ISWAP @ SQRT_ISWAP)
+
+
+def test_depth_one_optimization_matches_basis_class():
+    result = optimize_to_coordinate(SQRT_ISWAP_COORD, "sqrt_iswap", 1)
+    assert result.success
+    assert result.parameters == ()
+
+
+def test_depth_one_cannot_reach_cnot():
+    result = optimize_to_coordinate(CNOT_COORD, "sqrt_iswap", 1)
+    assert not result.success
+
+
+def test_cnot_reachable_with_two_sqrt_iswap():
+    # Huang et al. / paper Fig. 1a: CNOT decomposes into two sqrt(iSWAP).
+    assert is_reachable(CNOT_COORD, "sqrt_iswap", 2, seed=1)
+
+
+def test_iswap_reachable_with_two_sqrt_iswap():
+    assert is_reachable(ISWAP_COORD, "sqrt_iswap", 2, seed=1)
+
+
+def test_swap_not_reachable_with_two_sqrt_iswap():
+    assert not is_reachable(SWAP_COORD, "sqrt_iswap", 2, seed=1, trials=6)
+
+
+def test_swap_reachable_with_three_sqrt_iswap():
+    assert is_reachable(SWAP_COORD, "sqrt_iswap", 3, seed=1, trials=6)
+
+
+def test_invalid_depth_raises():
+    with pytest.raises(DecompositionError):
+        optimize_to_coordinate(CNOT_COORD, "sqrt_iswap", 0)
+
+
+def test_best_approximation_is_exact_when_reachable():
+    fidelity, realised = best_approximation_fidelity(
+        CNOT_COORD, "sqrt_iswap", 2, seed=2, trials=4, maxiter=400
+    )
+    assert fidelity > 0.999
+
+
+def test_best_approximation_below_one_when_unreachable():
+    fidelity, realised = best_approximation_fidelity(
+        SWAP_COORD, "sqrt_iswap", 1, seed=2
+    )
+    assert fidelity < 0.999
+    assert np.allclose(realised, SQRT_ISWAP_COORD.to_tuple(), atol=1e-6)

@@ -1,0 +1,108 @@
+"""Tests for the error model and the Algorithm-1 Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.fidelity import (
+    ErrorModel,
+    MonteCarloResult,
+    approximate_gate_costs,
+    relative_infidelity_reduction,
+    strategy_comparison,
+)
+from repro.polytopes import build_coverage_set
+from repro.weyl.haar import cached_haar_samples
+
+
+@pytest.fixture(scope="module")
+def coverage_pair():
+    exact = build_coverage_set("sqrt_iswap", num_samples=250, seed=3)
+    mirrored = build_coverage_set("sqrt_iswap", num_samples=250, seed=3, mirror=True)
+    return exact, mirrored
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return cached_haar_samples(200, 5)
+
+
+def test_error_model_calibration():
+    model = ErrorModel()
+    assert model.gate_fidelity(1.0) == pytest.approx(0.99)
+    assert model.gate_fidelity(0.0) == pytest.approx(1.0)
+    assert model.gate_fidelity(2.0) == pytest.approx(0.9801)
+    assert model.infidelity(1.0) == pytest.approx(0.01)
+    assert model.decay_rate == pytest.approx(-np.log(0.99))
+
+
+def test_error_model_combined_fidelity():
+    model = ErrorModel()
+    assert model.combined_fidelity(1.0, 0.95) == pytest.approx(0.99 * 0.95)
+
+
+def test_relative_infidelity_reduction():
+    assert relative_infidelity_reduction(0.99, 0.995) == pytest.approx(0.5)
+    assert relative_infidelity_reduction(1.0, 0.9) == 0.0
+
+
+def test_exact_monte_carlo_matches_haar_score(coverage_pair, samples):
+    exact, _ = coverage_pair
+    result = approximate_gate_costs(
+        exact, samples=samples, allow_approximation=False
+    )
+    assert isinstance(result, MonteCarloResult)
+    assert result.approximations_accepted == 0
+    assert 1.0 <= result.haar_score <= 1.5
+    assert result.average_fidelity == pytest.approx(
+        float(np.mean(0.99 ** result.costs)), abs=1e-12
+    )
+
+
+def test_approximation_never_hurts(coverage_pair, samples):
+    exact, _ = coverage_pair
+    without = approximate_gate_costs(
+        exact, samples=samples, allow_approximation=False
+    )
+    with_approx = approximate_gate_costs(
+        exact, samples=samples, allow_approximation=True
+    )
+    assert with_approx.haar_score <= without.haar_score + 1e-12
+    assert with_approx.average_fidelity >= without.average_fidelity - 1e-12
+
+
+def test_mirrors_improve_haar_score(coverage_pair, samples):
+    exact, mirrored = coverage_pair
+    exact_result = approximate_gate_costs(
+        exact, samples=samples, allow_approximation=False
+    )
+    mirror_result = approximate_gate_costs(
+        mirrored, samples=samples, allow_approximation=False
+    )
+    assert mirror_result.haar_score <= exact_result.haar_score
+    assert mirror_result.average_fidelity >= exact_result.average_fidelity
+
+
+def test_running_mean_converges_to_score(coverage_pair, samples):
+    exact, _ = coverage_pair
+    result = approximate_gate_costs(
+        exact, samples=samples, allow_approximation=False
+    )
+    trace = result.running_mean()
+    assert len(trace) == len(samples)
+    assert trace[-1] == pytest.approx(result.haar_score)
+
+
+def test_strategy_comparison_ordering(coverage_pair):
+    exact, mirrored = coverage_pair
+    strategies = strategy_comparison(exact, mirrored, num_samples=150, seed=5)
+    assert set(strategies) == {
+        "exact",
+        "approximate",
+        "exact+mirrors",
+        "approximate+mirrors",
+    }
+    # Combining mirrors and approximation is the best strategy (paper Fig. 5).
+    assert (
+        strategies["approximate+mirrors"].haar_score
+        <= strategies["exact"].haar_score
+    )

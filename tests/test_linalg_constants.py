@@ -1,0 +1,156 @@
+"""Tests for repro.linalg.constants."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    CNOT,
+    CNOT_REVERSED,
+    CZ,
+    H,
+    ID,
+    ISWAP,
+    MAGIC,
+    S,
+    SQRT_ISWAP,
+    SWAP,
+    SX,
+    T,
+    X,
+    Y,
+    Z,
+    cphase,
+    is_unitary,
+    iswap_power,
+    pswap,
+    xx_yy_interaction,
+)
+
+
+ALL_CONSTANTS = {
+    "ID": ID,
+    "X": X,
+    "Y": Y,
+    "Z": Z,
+    "H": H,
+    "S": S,
+    "T": T,
+    "SX": SX,
+    "CNOT": CNOT,
+    "CNOT_REVERSED": CNOT_REVERSED,
+    "CZ": CZ,
+    "SWAP": SWAP,
+    "ISWAP": ISWAP,
+    "SQRT_ISWAP": SQRT_ISWAP,
+    "MAGIC": MAGIC,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_CONSTANTS))
+def test_constants_are_unitary(name):
+    assert is_unitary(ALL_CONSTANTS[name])
+
+
+def test_pauli_algebra():
+    assert np.allclose(X @ X, ID)
+    assert np.allclose(Y @ Y, ID)
+    assert np.allclose(Z @ Z, ID)
+    assert np.allclose(X @ Y, 1j * Z)
+    assert np.allclose(Y @ Z, 1j * X)
+    assert np.allclose(Z @ X, 1j * Y)
+
+
+def test_hadamard_conjugation():
+    assert np.allclose(H @ X @ H, Z)
+    assert np.allclose(H @ Z @ H, X)
+
+
+def test_sx_squares_to_x():
+    assert np.allclose(SX @ SX, X)
+
+
+def test_s_squares_to_z():
+    assert np.allclose(S @ S, Z)
+
+
+def test_t_squares_to_s():
+    assert np.allclose(T @ T, S)
+
+
+def test_cnot_action_on_basis():
+    # |10> (q0=0, q1=1) stays, |01> (q0=1) flips target q1.
+    basis = np.eye(4)
+    assert np.allclose(CNOT @ basis[:, 0], basis[:, 0])
+    assert np.allclose(CNOT @ basis[:, 1], basis[:, 3])
+    assert np.allclose(CNOT @ basis[:, 2], basis[:, 2])
+    assert np.allclose(CNOT @ basis[:, 3], basis[:, 1])
+
+
+def test_swap_exchanges_basis_states():
+    basis = np.eye(4)
+    assert np.allclose(SWAP @ basis[:, 1], basis[:, 2])
+    assert np.allclose(SWAP @ basis[:, 2], basis[:, 1])
+    assert np.allclose(SWAP @ basis[:, 0], basis[:, 0])
+    assert np.allclose(SWAP @ basis[:, 3], basis[:, 3])
+
+
+def test_iswap_phases():
+    basis = np.eye(4)
+    assert np.allclose(ISWAP @ basis[:, 1], 1j * basis[:, 2])
+    assert np.allclose(ISWAP @ basis[:, 2], 1j * basis[:, 1])
+
+
+def test_iswap_power_composition():
+    half = iswap_power(0.5)
+    assert np.allclose(half @ half, ISWAP)
+    third = iswap_power(1.0 / 3.0)
+    assert np.allclose(third @ third @ third, ISWAP)
+    quarter = iswap_power(0.25)
+    assert np.allclose(np.linalg.matrix_power(quarter, 4), ISWAP)
+
+
+def test_iswap_power_identity_and_full():
+    assert np.allclose(iswap_power(0.0), np.eye(4))
+    assert np.allclose(iswap_power(1.0), ISWAP)
+
+
+def test_sqrt_iswap_constant_matches_power():
+    assert np.allclose(SQRT_ISWAP, iswap_power(0.5))
+
+
+def test_cphase_diagonal():
+    theta = 0.37
+    gate = cphase(theta)
+    assert np.allclose(np.diag(gate), [1, 1, 1, np.exp(1j * theta)])
+    assert np.allclose(gate - np.diag(np.diag(gate)), 0)
+
+
+def test_cphase_pi_is_cz():
+    assert np.allclose(cphase(np.pi), CZ)
+
+
+def test_pswap_zero_is_swap():
+    assert np.allclose(pswap(0.0), SWAP)
+
+
+def test_pswap_is_unitary_for_any_angle():
+    for theta in np.linspace(-np.pi, np.pi, 7):
+        assert is_unitary(pswap(theta))
+
+
+def test_xx_yy_interaction_builds_iswap():
+    gate = xx_yy_interaction(np.pi / 4, np.pi / 4, 0.0)
+    # Locally equivalent matrices need not be equal, but this construction is
+    # exactly iSWAP in the computational basis.
+    assert np.allclose(gate, ISWAP)
+
+
+def test_xx_yy_interaction_identity():
+    assert np.allclose(xx_yy_interaction(0, 0, 0), np.eye(4))
+
+
+def test_magic_basis_maps_pauli_products_to_diagonal():
+    for pauli in (np.kron(X, X), np.kron(Y, Y), np.kron(Z, Z)):
+        transformed = MAGIC.conj().T @ pauli @ MAGIC
+        off_diagonal = transformed - np.diag(np.diag(transformed))
+        assert np.allclose(off_diagonal, 0, atol=1e-12)

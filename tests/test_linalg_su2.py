@@ -1,0 +1,93 @@
+"""Tests for the single-qubit rotation / Euler-angle helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    H,
+    S,
+    T,
+    X,
+    Y,
+    Z,
+    equal_up_to_global_phase,
+    haar_unitary,
+    is_unitary,
+    rx,
+    ry,
+    rz,
+    so3_rotation,
+    u3,
+    zyz_angles,
+    zyz_matrix,
+)
+
+
+@pytest.mark.parametrize("theta", np.linspace(-2 * np.pi, 2 * np.pi, 9))
+def test_rotations_are_unitary(theta):
+    assert is_unitary(rx(theta))
+    assert is_unitary(ry(theta))
+    assert is_unitary(rz(theta))
+
+
+def test_rotation_special_values():
+    assert equal_up_to_global_phase(rx(np.pi), X)
+    assert equal_up_to_global_phase(ry(np.pi), Y)
+    assert equal_up_to_global_phase(rz(np.pi), Z)
+    assert np.allclose(rx(0), np.eye(2))
+
+
+def test_u3_special_cases():
+    assert equal_up_to_global_phase(u3(np.pi / 2, 0, np.pi), H)
+    assert equal_up_to_global_phase(u3(0, 0, np.pi / 2), S)
+    assert equal_up_to_global_phase(u3(0, 0, np.pi / 4), T)
+    assert equal_up_to_global_phase(u3(np.pi, 0, np.pi), X)
+
+
+def test_u3_is_unitary_generic():
+    assert is_unitary(u3(0.3, -1.2, 2.5))
+
+
+@pytest.mark.parametrize("gate", [X, Y, Z, H, S, T, np.eye(2)])
+def test_zyz_roundtrip_named_gates(gate):
+    theta, phi, lam, alpha = zyz_angles(gate)
+    rebuilt = zyz_matrix(theta, phi, lam, alpha)
+    assert np.allclose(rebuilt, gate, atol=1e-9)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_zyz_roundtrip_random(seed):
+    gate = haar_unitary(2, seed)
+    theta, phi, lam, alpha = zyz_angles(gate)
+    rebuilt = zyz_matrix(theta, phi, lam, alpha)
+    assert np.allclose(rebuilt, gate, atol=1e-8)
+
+
+def test_zyz_matches_u3_up_to_phase():
+    gate = haar_unitary(2, 123)
+    theta, phi, lam, _ = zyz_angles(gate)
+    assert equal_up_to_global_phase(u3(theta, phi, lam), gate, atol=1e-8)
+
+
+def test_so3_rotation_axes():
+    assert np.allclose(so3_rotation([1, 0, 0], 0.7), rx(0.7))
+    assert np.allclose(so3_rotation([0, 1, 0], 0.7), ry(0.7))
+    assert np.allclose(so3_rotation([0, 0, 1], 0.7), rz(0.7))
+
+
+def test_so3_rotation_normalises_axis():
+    assert np.allclose(so3_rotation([2, 0, 0], 0.5), rx(0.5))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=-6.0, max_value=6.0),
+    st.floats(min_value=-6.0, max_value=6.0),
+    st.floats(min_value=-6.0, max_value=6.0),
+)
+def test_property_zyz_roundtrip(theta, phi, lam):
+    gate = zyz_matrix(theta, phi, lam)
+    t2, p2, l2, a2 = zyz_angles(gate)
+    assert np.allclose(zyz_matrix(t2, p2, l2, a2), gate, atol=1e-8)

@@ -1,0 +1,156 @@
+"""Tests for repro.linalg.unitary and repro.linalg.random."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitError
+from repro.linalg import (
+    CNOT,
+    SWAP,
+    X,
+    apply_unitary_to_state,
+    average_gate_fidelity,
+    closest_unitary,
+    embed_unitary,
+    equal_up_to_global_phase,
+    haar_unitary,
+    hilbert_schmidt_distance,
+    is_hermitian,
+    is_unitary,
+    kron_all,
+    random_statevector,
+    remove_global_phase,
+    unitary_entanglement_fidelity,
+)
+
+
+def test_is_unitary_rejects_non_square():
+    assert not is_unitary(np.ones((2, 3)))
+
+
+def test_is_unitary_rejects_non_unitary():
+    assert not is_unitary(np.array([[1, 1], [0, 1]], dtype=complex))
+
+
+def test_is_hermitian():
+    assert is_hermitian(X)
+    assert not is_hermitian(np.array([[0, 1], [0, 0]], dtype=complex))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_haar_unitary_is_unitary(seed):
+    assert is_unitary(haar_unitary(4, seed))
+
+
+def test_haar_unitary_distinct_seeds_differ():
+    assert not np.allclose(haar_unitary(4, 1), haar_unitary(4, 2))
+
+
+def test_haar_unitary_same_seed_reproducible():
+    assert np.allclose(haar_unitary(4, 7), haar_unitary(4, 7))
+
+
+def test_equal_up_to_global_phase():
+    u = haar_unitary(4, 3)
+    assert equal_up_to_global_phase(u, np.exp(1j * 0.321) * u)
+    assert not equal_up_to_global_phase(u, haar_unitary(4, 4))
+
+
+def test_remove_global_phase_gives_unit_determinant():
+    u = haar_unitary(4, 5)
+    su = remove_global_phase(u)
+    assert np.isclose(np.linalg.det(su), 1.0)
+
+
+def test_fidelity_of_identical_unitaries_is_one():
+    u = haar_unitary(4, 11)
+    assert np.isclose(unitary_entanglement_fidelity(u, u), 1.0)
+    assert np.isclose(average_gate_fidelity(u, u), 1.0)
+    assert np.isclose(hilbert_schmidt_distance(u, u), 0.0)
+
+
+def test_fidelity_is_phase_invariant():
+    u = haar_unitary(4, 12)
+    assert np.isclose(
+        unitary_entanglement_fidelity(u, np.exp(1j * 1.1) * u), 1.0
+    )
+
+
+def test_average_gate_fidelity_between_different_gates():
+    fid = average_gate_fidelity(np.eye(4), SWAP)
+    assert 0.0 < fid < 1.0
+
+
+def test_closest_unitary_projects():
+    noisy = haar_unitary(4, 9) + 0.01 * np.ones((4, 4))
+    projected = closest_unitary(noisy)
+    assert is_unitary(projected)
+
+
+def test_kron_all_empty_and_single():
+    assert np.allclose(kron_all([]), np.eye(1))
+    assert np.allclose(kron_all([X]), X)
+
+
+def test_kron_all_two_factors():
+    assert np.allclose(kron_all([X, X]), np.kron(X, X))
+
+
+def test_embed_unitary_single_qubit():
+    embedded = embed_unitary(X, [0], 2)
+    state = np.zeros(4)
+    state[0] = 1.0
+    assert np.allclose(embedded @ state, np.eye(4)[:, 1])
+
+
+def test_embed_unitary_respects_qubit_order():
+    # CNOT with control q0 target q1 embedded on (0, 1) of 2 qubits is CNOT.
+    assert np.allclose(embed_unitary(CNOT, [0, 1], 2), CNOT)
+    # Reversing the qubit order gives the reversed CNOT.
+    reversed_cnot = embed_unitary(CNOT, [1, 0], 2)
+    state = np.zeros(4)
+    state[2] = 1.0  # |q1=1, q0=0>
+    expected = np.zeros(4)
+    expected[3] = 1.0
+    assert np.allclose(reversed_cnot @ state, expected)
+
+
+def test_embed_unitary_errors():
+    with pytest.raises(CircuitError):
+        embed_unitary(CNOT, [0], 2)
+    with pytest.raises(CircuitError):
+        embed_unitary(CNOT, [0, 0], 2)
+    with pytest.raises(CircuitError):
+        embed_unitary(CNOT, [0, 5], 2)
+
+
+def test_apply_unitary_matches_embedding_random():
+    rng = np.random.default_rng(42)
+    for _ in range(10):
+        num_qubits = 4
+        gate = haar_unitary(4, rng)
+        qubits = list(rng.choice(num_qubits, size=2, replace=False))
+        state = random_statevector(num_qubits, rng)
+        via_matrix = embed_unitary(gate, qubits, num_qubits) @ state
+        via_tensor = apply_unitary_to_state(state, gate, qubits, num_qubits)
+        assert np.allclose(via_matrix, via_tensor)
+
+
+def test_apply_unitary_wrong_state_length():
+    with pytest.raises(CircuitError):
+        apply_unitary_to_state(np.zeros(3), X, [0], 2)
+
+
+def test_random_statevector_normalised():
+    state = random_statevector(3, 1)
+    assert np.isclose(np.linalg.norm(state), 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_haar_unitary_property_unitarity(seed):
+    u = haar_unitary(4, seed)
+    assert is_unitary(u)
+    assert np.isclose(abs(np.linalg.det(u)), 1.0)

@@ -1,0 +1,204 @@
+"""Tests for Weyl-coordinate extraction, canonicalisation and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WeylError
+from repro.linalg import (
+    CNOT,
+    CZ,
+    ISWAP,
+    SQRT_ISWAP,
+    SWAP,
+    cphase,
+    haar_unitary,
+    iswap_power,
+    random_local_pair,
+)
+from repro.weyl import (
+    PI4,
+    PI8,
+    WeylCoordinate,
+    canonical_gate,
+    canonical_trace_fidelity,
+    canonicalize_coordinate,
+    chamber_volume,
+    coordinate_distance,
+    coordinates_close,
+    in_weyl_chamber,
+    locally_equivalent,
+    makhlin_from_coordinate,
+    makhlin_invariants,
+    weyl_coordinates,
+)
+
+LANDMARKS = [
+    (np.eye(4), (0.0, 0.0, 0.0)),
+    (CNOT, (PI4, 0.0, 0.0)),
+    (CZ, (PI4, 0.0, 0.0)),
+    (ISWAP, (PI4, PI4, 0.0)),
+    (SWAP, (PI4, PI4, PI4)),
+    (SQRT_ISWAP, (PI8, PI8, 0.0)),
+    (iswap_power(0.25), (PI8 / 2, PI8 / 2, 0.0)),
+    (cphase(np.pi / 3), (np.pi / 12, 0.0, 0.0)),
+]
+
+
+@pytest.mark.parametrize("unitary, expected", LANDMARKS)
+def test_landmark_coordinates(unitary, expected):
+    assert np.allclose(weyl_coordinates(unitary), expected, atol=1e-7)
+
+
+def test_weyl_rejects_wrong_shape():
+    with pytest.raises(WeylError):
+        weyl_coordinates(np.eye(2))
+
+
+def test_weyl_rejects_non_unitary():
+    with pytest.raises(WeylError):
+        weyl_coordinates(np.ones((4, 4)))
+
+
+def test_coordinates_invariant_under_local_gates():
+    rng = np.random.default_rng(5)
+    for _ in range(10):
+        unitary = haar_unitary(4, rng)
+        local_before = random_local_pair(rng)
+        local_after = random_local_pair(rng)
+        original = weyl_coordinates(unitary)
+        dressed = weyl_coordinates(local_after @ unitary @ local_before)
+        assert np.allclose(original, dressed, atol=1e-6)
+
+
+def test_coordinates_invariant_under_global_phase():
+    unitary = haar_unitary(4, 17)
+    original = weyl_coordinates(unitary)
+    rotated = weyl_coordinates(np.exp(1j * 0.7) * unitary)
+    assert np.allclose(original, rotated, atol=1e-7)
+
+
+def test_canonical_gate_roundtrip_interior_points():
+    rng = np.random.default_rng(11)
+    for _ in range(25):
+        a = rng.uniform(0, PI4)
+        b = rng.uniform(0, a)
+        c = rng.uniform(0, b)
+        recovered = weyl_coordinates(canonical_gate(a, b, c))
+        assert np.allclose(recovered, (a, b, c), atol=1e-6)
+
+
+def test_canonical_gate_roundtrip_high_a_region():
+    rng = np.random.default_rng(13)
+    for _ in range(25):
+        a = rng.uniform(PI4, np.pi / 2)
+        b = rng.uniform(0, np.pi / 2 - a)
+        c = rng.uniform(0, b)
+        recovered = weyl_coordinates(canonical_gate(a, b, c))
+        assert np.allclose(recovered, (a, b, c), atol=1e-6)
+
+
+def test_chamber_membership_of_landmarks():
+    assert in_weyl_chamber((0, 0, 0))
+    assert in_weyl_chamber((PI4, PI4, PI4))
+    assert in_weyl_chamber((PI4, PI8, 0))
+    assert not in_weyl_chamber((0.1, 0.2, 0.0))  # unsorted
+    assert not in_weyl_chamber((PI4 + 0.2, 0.0, 0.0))  # base identification
+    assert not in_weyl_chamber((0.3, 0.2, -0.1))
+
+
+def test_canonicalize_base_plane_identification():
+    # (a, b, 0) with a > pi/4 folds back to (pi/2 - a, b, 0) resorted.
+    point = canonicalize_coordinate((0.6 * math.pi / 2, 0.1, 0.0))
+    assert in_weyl_chamber(point)
+    assert point[0] <= PI4 + 1e-9
+
+
+def test_canonicalize_handles_negative_inputs():
+    point = canonicalize_coordinate((-0.3, 0.2, -0.1))
+    assert in_weyl_chamber(point)
+
+
+def test_canonicalize_is_idempotent():
+    rng = np.random.default_rng(3)
+    for _ in range(50):
+        raw = rng.uniform(-2, 2, size=3)
+        once = canonicalize_coordinate(raw)
+        twice = canonicalize_coordinate(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+
+def test_coordinates_close_accepts_equivalent_raw_triples():
+    assert coordinates_close((PI4, 0, 0), (PI4 + np.pi / 2, 0, 0))
+    assert not coordinates_close((PI4, 0, 0), (PI4, PI4, 0))
+
+
+def test_chamber_volume_value():
+    assert np.isclose(chamber_volume(), (np.pi / 2) ** 3 / 24.0)
+
+
+def test_weyl_coordinate_dataclass_validation():
+    with pytest.raises(WeylError):
+        WeylCoordinate(0.1, 0.2, 0.3)  # unsorted -> outside chamber
+
+
+def test_weyl_coordinate_helpers():
+    coord = WeylCoordinate(PI4, PI4, PI4)
+    assert coord.is_swap()
+    assert not coord.is_identity()
+    assert WeylCoordinate(0, 0, 0).is_identity()
+    assert coord.rounded(4) == (round(PI4, 4),) * 3
+    assert len(list(iter(coord))) == 3
+
+
+def test_weyl_coordinate_from_unitary_matches_function():
+    unitary = haar_unitary(4, 23)
+    via_class = WeylCoordinate.from_unitary(unitary)
+    via_function = weyl_coordinates(unitary)
+    assert np.allclose(via_class.to_tuple(), via_function, atol=1e-9)
+
+
+def test_makhlin_invariants_known_values():
+    assert np.allclose(makhlin_invariants(np.eye(4)), (1, 0, 3), atol=1e-9)
+    assert np.allclose(makhlin_invariants(CNOT), (0, 0, 1), atol=1e-9)
+    assert np.allclose(makhlin_invariants(ISWAP), (0, 0, -1), atol=1e-9)
+    assert np.allclose(makhlin_invariants(SWAP), (-1, 0, -3), atol=1e-9)
+
+
+def test_makhlin_from_coordinate_matches_matrix_form():
+    rng = np.random.default_rng(31)
+    for _ in range(20):
+        unitary = haar_unitary(4, rng)
+        coord = weyl_coordinates(unitary)
+        assert np.allclose(
+            makhlin_invariants(unitary),
+            makhlin_from_coordinate(coord),
+            atol=1e-6,
+        )
+
+
+def test_locally_equivalent():
+    assert locally_equivalent(CNOT, CZ)
+    assert not locally_equivalent(CNOT, ISWAP)
+
+
+def test_coordinate_distance_and_trace_fidelity():
+    assert coordinate_distance((0, 0, 0), (0, 0, 0)) == 0
+    assert coordinate_distance((PI4, 0, 0), (0, 0, 0)) == pytest.approx(PI4)
+    assert canonical_trace_fidelity((0.3, 0.2, 0.1), (0.3, 0.2, 0.1)) == pytest.approx(1.0)
+    # CAN trace overlap between SWAP and identity gives F_avg = 0.4 exactly.
+    assert canonical_trace_fidelity((PI4, PI4, PI4), (0, 0, 0)) == pytest.approx(0.4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_property_extraction_verifies_invariants(seed):
+    unitary = haar_unitary(4, seed)
+    coord = weyl_coordinates(unitary)
+    assert in_weyl_chamber(coord, atol=1e-6)
+    assert np.allclose(
+        makhlin_invariants(unitary), makhlin_from_coordinate(coord), atol=1e-5
+    )
