@@ -31,17 +31,22 @@ def test_fig13_runtime_scaling(benchmark, sqrt_iswap_coverage):
                       seed=2, coverage=sqrt_iswap_coverage)
             sabre_time = time.perf_counter() - start
             start = time.perf_counter()
-            transpile(circuit, lattice, method="mirage", selection="depth",
-                      layout_trials=1, refinement_rounds=1, use_vf2=False,
-                      seed=2, coverage=sqrt_iswap_coverage)
+            mirage = transpile(circuit, lattice, method="mirage",
+                               selection="depth", layout_trials=1,
+                               refinement_rounds=1, use_vf2=False,
+                               seed=2, coverage=sqrt_iswap_coverage)
             mirage_time = time.perf_counter() - start
-            rows.append((width, sabre_time, mirage_time))
+            rows.append((width, sabre_time, mirage_time, mirage.stage_seconds()))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\n[fig13] qft width, sabre runtime (s), mirage runtime (s)")
-    for width, sabre_time, mirage_time in rows:
+    for width, sabre_time, mirage_time, _ in rows:
         print(f"  n={width:<3d} {sabre_time:8.2f} {mirage_time:8.2f}")
+    widest = rows[-1]
+    print(f"  per-stage seconds (mirage, n={widest[0]}):")
+    for name, seconds in widest[3].items():
+        print(f"    {name:<12} {seconds:8.3f}")
     info = GLOBAL_COORDINATE_CACHE.info()
     total = info["hits"] + info["misses"]
     hit_rate = info["hits"] / total if total else 0.0
@@ -49,5 +54,5 @@ def test_fig13_runtime_scaling(benchmark, sqrt_iswap_coverage):
           f"({hit_rate:.0%} hit rate)")
     # MIRAGE's runtime stays within 2x of the baseline on every width (the
     # paper reports it being faster; the exact ratio depends on trial budget).
-    for _, sabre_time, mirage_time in rows:
+    for _, sabre_time, mirage_time, _stages in rows:
         assert mirage_time < 2.5 * sabre_time + 0.5

@@ -1,0 +1,81 @@
+"""Serial vs. parallel trial execution at the paper's routing budget.
+
+The paper's experimental setup (Section V) runs 20 layout trials x 20
+routing trials per circuit.  The trials are independent, so the staged
+pipeline can fan them out over a process pool; this bench compares the
+serial executor against the process executor on the same budget and
+prints the per-stage timing report the pipeline produces (paper Fig. 13
+reports stage runtimes).
+
+The full 20 x 20 budget is slow in pure Python, so the default budget is
+reduced; set ``MIRAGE_BENCH_FULL=1`` to run the paper's numbers.  The two
+executors must agree bit-for-bit on the chosen routing — per-trial
+``SeedSequence`` streams make the search order-independent — and the
+bench asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.circuits.library import qft
+from repro.core import transpile
+from repro.transpiler import ProcessExecutor, SerialExecutor, line_topology
+
+FULL = os.environ.get("MIRAGE_BENCH_FULL", "") not in ("", "0")
+#: Paper budget is 20 x 20; the reduced default keeps the bench quick.
+LAYOUT_TRIALS = 20 if FULL else 6
+ROUTING_TRIALS = 20 if FULL else 2
+WIDTH = 8
+
+
+def _run(executor, coverage) -> tuple[float, object]:
+    result = transpile(
+        qft(WIDTH),
+        line_topology(WIDTH),
+        method="mirage",
+        selection="depth",
+        layout_trials=LAYOUT_TRIALS,
+        refinement_rounds=2,
+        routing_trials=ROUTING_TRIALS,
+        coverage=coverage,
+        use_vf2=False,
+        seed=13,
+        executor=executor,
+    )
+    return result.runtime_seconds, result
+
+
+def test_parallel_trials_match_serial(benchmark, sqrt_iswap_coverage):
+    def run():
+        serial_seconds, serial = _run(SerialExecutor(), sqrt_iswap_coverage)
+        # Pre-warm the pool so worker start-up stays out of the timed
+        # window — the bench measures trial-level parallelism, not fork cost.
+        with ProcessExecutor() as pool:
+            pool.map(len, [(), ()])
+            process_seconds, parallel = _run(pool, sqrt_iswap_coverage)
+        return serial_seconds, serial, process_seconds, parallel
+
+    serial_seconds, serial, process_seconds, parallel = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    budget = f"{LAYOUT_TRIALS}x{ROUTING_TRIALS}"
+    print(f"\n[parallel-trials] qft-{WIDTH}, budget {budget}")
+    print(f"  serial    {serial_seconds:8.2f} s")
+    print(f"  processes {process_seconds:8.2f} s "
+          f"(speedup {serial_seconds / process_seconds:.2f}x)")
+    print("  per-stage seconds (serial run):")
+    for name, seconds in serial.stage_seconds().items():
+        print(f"    {name:<12} {seconds:8.3f}")
+
+    # Identical routing regardless of executor (order-independent trials).
+    assert serial.trial_index == parallel.trial_index
+    assert serial.swaps_added == parallel.swaps_added
+    assert serial.metrics.depth == parallel.metrics.depth
+    assert [(i.gate.name, i.qubits) for i in serial.circuit] == [
+        (i.gate.name, i.qubits) for i in parallel.circuit
+    ]
+    # The routing stage dominates the pipeline at this budget.
+    stage_seconds = serial.stage_seconds()
+    assert stage_seconds["route"] > 0.5 * sum(stage_seconds.values())

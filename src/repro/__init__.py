@@ -17,7 +17,10 @@ __version__ = "1.0.0"
 # subpackage; the names below are resolved on first attribute access.
 _LAZY_EXPORTS = {
     "transpile": "repro.core.transpile",
+    "transpile_many": "repro.core.transpile",
+    "build_mirage_pipeline": "repro.core.pipeline",
     "TranspileResult": "repro.core.results",
+    "BatchResult": "repro.core.results",
     "QuantumCircuit": "repro.circuits.circuit",
     "WeylCoordinate": "repro.weyl.coordinates",
 }
@@ -34,7 +37,10 @@ def __getattr__(name: str):
 
 __all__ = [
     "transpile",
+    "transpile_many",
+    "build_mirage_pipeline",
     "TranspileResult",
+    "BatchResult",
     "QuantumCircuit",
     "WeylCoordinate",
     "__version__",

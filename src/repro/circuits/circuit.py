@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.exceptions import DAGError
 from repro.circuits.circuit import CircuitInstruction, QuantumCircuit

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.library.qaoa import qaoa_maxcut
 
 
 def swap_test(num_qubits: int = 25) -> QuantumCircuit:

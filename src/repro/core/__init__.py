@@ -9,8 +9,18 @@ from repro.core.aggression import (
     schedule_from_spec,
 )
 from repro.core.mirage_pass import MirageSwap
-from repro.core.results import TranspileResult
-from repro.core.transpile import compare_methods, prepare_circuit, transpile
+from repro.core.pipeline import (
+    MirageRouterFactory,
+    build_mirage_pipeline,
+    build_prepare_pipeline,
+)
+from repro.core.results import BatchResult, TranspileResult
+from repro.core.transpile import (
+    compare_methods,
+    prepare_circuit,
+    transpile,
+    transpile_many,
+)
 
 __all__ = [
     "Aggression",
@@ -20,8 +30,13 @@ __all__ = [
     "fixed_schedule",
     "schedule_from_spec",
     "MirageSwap",
+    "MirageRouterFactory",
+    "build_mirage_pipeline",
+    "build_prepare_pipeline",
+    "BatchResult",
     "TranspileResult",
     "compare_methods",
     "prepare_circuit",
     "transpile",
+    "transpile_many",
 ]

@@ -19,8 +19,6 @@ layout — data moves without any inserted SWAP gate, which is exactly the
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.circuits.dag import DAGCircuit, DAGNode
 from repro.circuits.gates import UnitaryGate
 from repro.core.aggression import Aggression, accept_mirror

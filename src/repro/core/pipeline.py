@@ -1,0 +1,347 @@
+"""The staged MIRAGE transpilation pipeline (paper Section V flow).
+
+:func:`build_mirage_pipeline` assembles the paper's experimental flow —
+clean → unroll → consolidate → coupling/coverage analysis → VF2 embedding
+→ multi-trial SABRE/MIRAGE routing → post-selection — as named stages on
+a :class:`~repro.transpiler.passmanager.PassManager`.  Stages exchange
+data through the shared :class:`~repro.transpiler.passmanager.PropertySet`
+(``coupling_map``, ``coverage``, ``input_metrics``, layouts, routing
+counters, and finally ``result``), so any stage can be replaced, removed
+or reordered without touching the others, and every run yields a per-stage
+timing report (paper Fig. 13).
+
+:func:`repro.core.transpile.transpile` is a thin wrapper building and
+executing this pipeline; :func:`repro.core.transpile.transpile_many`
+shares one coverage set and one trial executor across a whole batch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.exceptions import TranspilerError
+from repro.core.aggression import Aggression, schedule_from_spec
+from repro.core.mirage_pass import MirageSwap
+from repro.core.results import TranspileResult
+from repro.polytopes.coverage import CoverageSet, get_coverage_set
+from repro.transpiler.executors import TrialExecutor
+from repro.transpiler.layout import apply_layout, vf2_layout
+from repro.transpiler.metrics import evaluate
+from repro.transpiler.passes.cleanup import clean_input
+from repro.transpiler.passes.consolidate import consolidate_blocks
+from repro.transpiler.passes.sabre_layout import (
+    DepthMetric,
+    SabreLayout,
+    SabreRouterFactory,
+    swap_count_metric,
+)
+from repro.transpiler.passes.sabre_swap import SabreSwap
+from repro.transpiler.passes.unroll import unroll_to_two_qubit
+from repro.transpiler.passmanager import (
+    BasePass,
+    FunctionPass,
+    PassManager,
+    PipelineState,
+)
+from repro.transpiler.topologies import CouplingMap, topology_by_name
+
+
+@dataclasses.dataclass(frozen=True)
+class MirageRouterFactory:
+    """Picklable factory building a :class:`MirageSwap` per trial.
+
+    The aggression schedule is baked in as a tuple so the factory can ship
+    to process-pool workers; trial ``i`` gets ``schedule[i % len]``.
+    """
+
+    coupling: CouplingMap
+    coverage: CoverageSet
+    schedule: tuple[Aggression, ...]
+
+    def __call__(self, trial: int) -> SabreSwap:
+        return MirageSwap(
+            self.coupling,
+            self.coverage,
+            aggression=self.schedule[trial % len(self.schedule)],
+        )
+
+
+class ResolveCouplingPass(BasePass):
+    """Resolve a coupling map (or topology name) and validate device size."""
+
+    name = "coupling"
+
+    def __init__(self, coupling: CouplingMap | str) -> None:
+        self.coupling = coupling
+
+    def run(self, state: PipelineState) -> None:
+        coupling = self.coupling
+        if not isinstance(coupling, CouplingMap):
+            coupling = topology_by_name(coupling, state.circuit.num_qubits)
+        if state.circuit.num_qubits > coupling.num_qubits:
+            raise TranspilerError(
+                f"circuit needs {state.circuit.num_qubits} qubits but the "
+                f"device has {coupling.num_qubits}"
+            )
+        state.properties["coupling_map"] = coupling
+
+
+class AttachCoveragePass(BasePass):
+    """Attach the coverage set (decomposition-cost oracle) for the basis."""
+
+    name = "coverage"
+
+    def __init__(self, basis: str, coverage: CoverageSet | None = None) -> None:
+        self.basis = basis
+        self.coverage = coverage
+
+    def run(self, state: PipelineState) -> None:
+        state.properties["basis"] = self.basis
+        state.properties["coverage"] = (
+            self.coverage
+            if self.coverage is not None
+            else get_coverage_set(self.basis)
+        )
+
+
+class AnalyzeInputPass(BasePass):
+    """Record metrics of the prepared input circuit for improvement reports."""
+
+    name = "analyze"
+
+    def run(self, state: PipelineState) -> None:
+        state.properties["input_metrics"] = evaluate(
+            state.circuit,
+            basis=state.properties.require("basis"),
+            coverage=state.properties.require("coverage"),
+        )
+
+
+class VF2EmbeddingPass(BasePass):
+    """Search for a SWAP-free embedding before invoking SABRE/MIRAGE."""
+
+    name = "vf2"
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+
+    def should_run(self, state: PipelineState) -> bool:
+        return self.enabled
+
+    def run(self, state: PipelineState) -> None:
+        coupling: CouplingMap = state.properties.require("coupling_map")
+        embedding = vf2_layout(state.circuit, coupling)
+        if embedding is None:
+            return
+        state.circuit = apply_layout(
+            state.circuit, embedding, coupling.num_qubits
+        )
+        state.properties.update(
+            method="vf2",
+            initial_layout=embedding,
+            final_layout=embedding.copy(),
+            swaps_added=0,
+            mirrors_accepted=0,
+            mirror_candidates=0,
+            selection_metric="none",
+            trial_index=-1,
+            routing_complete=True,
+        )
+
+
+class RoutingPass(BasePass):
+    """Multi-trial SABRE/MIRAGE routing with pluggable trial execution."""
+
+    name = "route"
+
+    def __init__(
+        self,
+        *,
+        method: str = "mirage",
+        selection: str = "depth",
+        aggression=None,
+        layout_trials: int = 4,
+        refinement_rounds: int = 2,
+        routing_trials: int = 1,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = 11,
+        executor: str | TrialExecutor | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        self.method = method
+        self.selection = selection
+        self.aggression = aggression
+        self.layout_trials = layout_trials
+        self.refinement_rounds = refinement_rounds
+        self.routing_trials = routing_trials
+        self.seed = seed
+        self.executor = executor
+        self.max_workers = max_workers
+
+    def should_run(self, state: PipelineState) -> bool:
+        return not state.properties.get("routing_complete", False)
+
+    def run(self, state: PipelineState) -> None:
+        coupling: CouplingMap = state.properties.require("coupling_map")
+        coverage: CoverageSet = state.properties.require("coverage")
+        basis: str = state.properties.require("basis")
+
+        if self.method == "sabre":
+            router_factory = SabreRouterFactory(coupling)
+        else:
+            schedule = tuple(
+                schedule_from_spec(self.layout_trials, self.aggression)
+            )
+            router_factory = MirageRouterFactory(coupling, coverage, schedule)
+        metric = (
+            DepthMetric(basis=basis, coverage=coverage)
+            if self.selection == "depth"
+            else swap_count_metric
+        )
+        driver = SabreLayout(
+            coupling,
+            router_factory,
+            layout_trials=self.layout_trials,
+            refinement_rounds=self.refinement_rounds,
+            routing_trials=self.routing_trials,
+            selection_metric=metric,
+            metric_name=self.selection,
+            seed=self.seed,
+            executor=self.executor,
+            max_workers=self.max_workers,
+        )
+        best = driver.run(state.circuit.to_dag())
+        state.circuit = best.routing.to_circuit()
+        state.properties.update(
+            method=self.method,
+            routing_dag=best.routing.dag,
+            initial_layout=best.routing.initial_layout,
+            final_layout=best.routing.final_layout,
+            swaps_added=best.routing.swaps_added,
+            mirrors_accepted=best.routing.mirrors_accepted,
+            mirror_candidates=best.routing.mirror_candidates,
+            selection_metric=self.selection,
+            trial_index=best.trial_index,
+            trial_scores=best.trial_scores,
+            routing_complete=True,
+        )
+
+
+class SelectResultPass(BasePass):
+    """Evaluate the routed circuit and assemble the :class:`TranspileResult`.
+
+    ``runtime_seconds`` and ``pipeline_report`` are filled in by the caller
+    once the whole pipeline (including this stage) has been timed.
+    """
+
+    name = "select"
+
+    def run(self, state: PipelineState) -> None:
+        props = state.properties
+        basis = props.require("basis")
+        coverage = props.require("coverage")
+        routed = props.get("routing_dag", state.circuit)
+        metrics = evaluate(
+            routed,
+            basis=basis,
+            coverage=coverage,
+            mirrors_accepted=props.get("mirrors_accepted", 0),
+        )
+        props["result"] = TranspileResult(
+            circuit=state.circuit,
+            metrics=metrics,
+            method=props.require("method"),
+            basis=basis,
+            initial_layout=props.require("initial_layout"),
+            final_layout=props.require("final_layout"),
+            swaps_added=props.get("swaps_added", 0),
+            mirrors_accepted=props.get("mirrors_accepted", 0),
+            mirror_candidates=props.get("mirror_candidates", 0),
+            runtime_seconds=0.0,
+            selection_metric=props.get("selection_metric", "none"),
+            trial_index=props.get("trial_index", -1),
+            input_metrics=props.get("input_metrics"),
+        )
+
+
+def validate_flow(method: str, selection: str) -> tuple[str, str]:
+    """Normalise and validate the ``method``/``selection`` pair.
+
+    Shared by :func:`build_mirage_pipeline` and the batch front door so
+    typos fail fast, before any expensive setup.
+
+    Raises:
+        TranspilerError: if ``method`` or ``selection`` is unknown.
+    """
+    method = method.lower()
+    if method not in {"mirage", "sabre"}:
+        raise TranspilerError(f"unknown transpilation method {method!r}")
+    selection = selection.lower()
+    if selection not in {"depth", "swaps"}:
+        raise TranspilerError(f"unknown selection metric {selection!r}")
+    return method, selection
+
+
+def build_prepare_pipeline(*, consolidate: bool = True) -> PassManager:
+    """Input cleaning + unrolling + consolidation (paper Section V)."""
+    manager = PassManager()
+    manager.append(FunctionPass("clean", clean_input))
+    manager.append(FunctionPass("unroll", unroll_to_two_qubit))
+    manager.append(FunctionPass("reclean", clean_input))
+    if consolidate:
+        manager.append(FunctionPass("consolidate", consolidate_blocks))
+    return manager
+
+
+def build_mirage_pipeline(
+    coupling: CouplingMap | str,
+    *,
+    basis: str = "sqrt_iswap",
+    method: str = "mirage",
+    selection: str = "depth",
+    aggression=None,
+    layout_trials: int = 4,
+    refinement_rounds: int = 2,
+    routing_trials: int = 1,
+    coverage: CoverageSet | None = None,
+    use_vf2: bool = True,
+    consolidate: bool = True,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = 11,
+    executor: str | TrialExecutor | None = None,
+    max_workers: int | None = None,
+) -> PassManager:
+    """Assemble the full staged transpilation pipeline.
+
+    Stage order: ``clean``, ``unroll``, ``reclean``, ``consolidate``,
+    ``coupling``, ``coverage``, ``analyze``, ``vf2``, ``route``,
+    ``select``.  ``vf2`` marks routing complete when it finds a SWAP-free
+    embedding, in which case ``route`` skips itself; the final ``select``
+    stage leaves the :class:`TranspileResult` in the property set under
+    ``"result"``.
+
+    Raises:
+        TranspilerError: if ``method`` or ``selection`` is unknown.
+    """
+    method, selection = validate_flow(method, selection)
+
+    manager = build_prepare_pipeline(consolidate=consolidate)
+    manager.append(ResolveCouplingPass(coupling))
+    manager.append(AttachCoveragePass(basis, coverage))
+    manager.append(AnalyzeInputPass())
+    manager.append(VF2EmbeddingPass(use_vf2))
+    manager.append(
+        RoutingPass(
+            method=method,
+            selection=selection,
+            aggression=aggression,
+            layout_trials=layout_trials,
+            refinement_rounds=refinement_rounds,
+            routing_trials=routing_trials,
+            seed=seed,
+            executor=executor,
+            max_workers=max_workers,
+        )
+    )
+    manager.append(SelectResultPass())
+    return manager

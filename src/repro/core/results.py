@@ -1,8 +1,15 @@
-"""Result objects returned by the top-level transpilation API."""
+"""Result objects returned by the top-level transpilation API.
+
+:class:`TranspileResult` describes one transpiled circuit, including the
+per-stage timing report of the pipeline that produced it;
+:class:`BatchResult` aggregates the results of one
+:func:`repro.core.transpile.transpile_many` call.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Iterator
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.transpiler.layout import Layout
@@ -29,6 +36,9 @@ class TranspileResult:
         trial_index: index of the winning routing trial.
         input_metrics: metrics of the cleaned, consolidated input circuit
             (before routing) for improvement reporting.
+        pipeline_report: per-stage timing records (name, seconds, gate
+            counts, skipped flag) of the pipeline run that produced this
+            result.
     """
 
     circuit: QuantumCircuit
@@ -44,6 +54,16 @@ class TranspileResult:
     selection_metric: str
     trial_index: int
     input_metrics: CircuitMetrics | None = None
+    pipeline_report: list[dict] | None = None
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Wall-clock seconds per pipeline stage (empty if no report)."""
+        seconds: dict[str, float] = {}
+        for record in self.pipeline_report or []:
+            seconds[record["name"]] = (
+                seconds.get(record["name"], 0.0) + record["seconds"]
+            )
+        return seconds
 
     @property
     def mirror_acceptance_rate(self) -> float:
@@ -65,3 +85,57 @@ class TranspileResult:
             "runtime_s": round(self.runtime_seconds, 3),
             "selection": self.selection_metric,
         }
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Results of one :func:`repro.core.transpile.transpile_many` call.
+
+    Attributes:
+        results: one :class:`TranspileResult` per input circuit, in input
+            order.
+        runtime_seconds: wall-clock time of the whole batch.
+        executor: name of the trial executor used (``"serial"``,
+            ``"threads"``, ``"processes"``, ...).
+    """
+
+    results: list[TranspileResult]
+    runtime_seconds: float
+    executor: str
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[TranspileResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> TranspileResult:
+        return self.results[index]
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage wall-clock seconds summed across the batch."""
+        seconds: dict[str, float] = {}
+        for result in self.results:
+            for name, value in result.stage_seconds().items():
+                seconds[name] = seconds.get(name, 0.0) + value
+        return seconds
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Flat summary row of the whole batch."""
+        return {
+            "circuits": len(self.results),
+            "executor": self.executor,
+            "total_swaps": sum(r.swaps_added for r in self.results),
+            "total_mirrors": sum(r.mirrors_accepted for r in self.results),
+            "mean_depth": round(
+                sum(r.metrics.depth for r in self.results) / len(self.results),
+                3,
+            )
+            if self.results
+            else 0.0,
+            "runtime_s": round(self.runtime_seconds, 3),
+        }
+
+    def summaries(self) -> list[dict[str, float | int | str]]:
+        """Per-circuit summary rows."""
+        return [result.summary() for result in self.results]

@@ -1,54 +1,53 @@
-"""Top-level transpilation API.
+"""Top-level transpilation API: thin builders over the staged pipeline.
 
-:func:`transpile` runs the full flow of the paper's experimental setup
-(Section V): input cleaning, unrolling, block consolidation, a VF2 search
-for a SWAP-free embedding, and — when routing is needed — the multi-trial
-SABRE or MIRAGE router with the chosen post-selection metric.
+The paper's experimental flow (Section V: clean → unroll → consolidate →
+VF2 → multi-trial SABRE/MIRAGE routing → post-selection) lives in
+:mod:`repro.core.pipeline` as named stages on a
+:class:`~repro.transpiler.passmanager.PassManager` sharing a
+:class:`~repro.transpiler.passmanager.PropertySet`.  This module only
+assembles and executes that pipeline:
+
+* :func:`transpile` — build the pipeline for one circuit, run it, and
+  return the :class:`TranspileResult` (with the per-stage timing report
+  attached as ``result.pipeline_report``).
+* :func:`transpile_many` — batch front door: transpile a sequence of
+  circuits sharing one coverage set and one
+  :class:`~repro.transpiler.executors.TrialExecutor`, returning a
+  :class:`~repro.core.results.BatchResult` with per-circuit results and
+  aggregated per-stage timings.
+* :func:`compare_methods` — the SABRE vs. MIRAGE comparison behind the
+  paper's Figs. 11 and 12.
+
+Routing trials draw from per-trial ``numpy.random.SeedSequence`` streams,
+so a fixed seed produces byte-identical circuits whether trials run
+serially, on a thread pool or on a process pool.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import Iterable, Sequence
 
-from repro.exceptions import TranspilerError
+import numpy as np
+
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.aggression import Aggression, schedule_from_spec
-from repro.core.mirage_pass import MirageSwap
-from repro.core.results import TranspileResult
-from repro.polytopes.coverage import CoverageSet, get_coverage_set
-from repro.transpiler.layout import Layout, apply_layout, vf2_layout
-from repro.transpiler.metrics import evaluate
-from repro.transpiler.passes.cleanup import clean_input
-from repro.transpiler.passes.consolidate import consolidate_blocks
-from repro.transpiler.passes.sabre_layout import (
-    SabreLayout,
-    depth_metric,
-    swap_count_metric,
+from repro.core.pipeline import (
+    build_mirage_pipeline,
+    build_prepare_pipeline,
+    validate_flow,
 )
-from repro.transpiler.passes.sabre_swap import SabreSwap
-from repro.transpiler.passes.unroll import unroll_to_two_qubit
-from repro.transpiler.topologies import CouplingMap, topology_by_name
+from repro.core.results import BatchResult, TranspileResult
+from repro.polytopes.coverage import CoverageSet, get_coverage_set
+from repro.transpiler.executors import TrialExecutor, executor_scope
+from repro.transpiler.passes import seed_sequence
+from repro.transpiler.topologies import CouplingMap
 
 
 def prepare_circuit(
     circuit: QuantumCircuit, *, consolidate: bool = True
 ) -> QuantumCircuit:
     """Input cleaning + unrolling + consolidation (paper Section V)."""
-    cleaned = clean_input(circuit)
-    unrolled = unroll_to_two_qubit(cleaned)
-    cleaned = clean_input(unrolled)
-    if consolidate:
-        return consolidate_blocks(cleaned)
-    return cleaned
-
-
-def _resolve_coupling(
-    coupling: CouplingMap | str, num_qubits: int
-) -> CouplingMap:
-    if isinstance(coupling, CouplingMap):
-        return coupling
-    return topology_by_name(coupling, num_qubits)
+    return build_prepare_pipeline(consolidate=consolidate).run(circuit)
 
 
 def transpile(
@@ -64,7 +63,9 @@ def transpile(
     routing_trials: int = 1,
     coverage: CoverageSet | None = None,
     use_vf2: bool = True,
-    seed: int | None = 11,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = 11,
+    executor: str | TrialExecutor | None = None,
+    max_workers: int | None = None,
 ) -> TranspileResult:
     """Transpile ``circuit`` onto ``coupling`` for a given basis gate.
 
@@ -87,106 +88,118 @@ def transpile(
         coverage: preconstructed coverage set (otherwise the shared set for
             ``basis`` is used).
         use_vf2: look for a SWAP-free embedding before routing.
-        seed: RNG seed (``None`` for nondeterministic).
+        seed: RNG seed — an int, a ``numpy.random.SeedSequence`` or a
+            ``numpy.random.Generator`` (``None`` for nondeterministic).
+            Each layout trial gets its own spawned stream, so results are
+            executor-independent.  Ints and ``SeedSequence``s are
+            reproducible across calls; a ``Generator`` is consumed (one
+            draw of entropy), so reusing it gives fresh randomness.
+        executor: trial execution strategy — ``None``/``"serial"``,
+            ``"threads"``, ``"processes"`` or a :class:`TrialExecutor`
+            instance (borrowed instances are left open for reuse).
+        max_workers: worker count for executors created from a string spec.
 
     Returns:
-        A :class:`TranspileResult`.
+        A :class:`TranspileResult` with ``pipeline_report`` carrying the
+        per-stage timings.
 
     Raises:
         TranspilerError: if the device is too small or the method is unknown.
     """
     start = time.perf_counter()
-    method = method.lower()
-    if method not in {"mirage", "sabre"}:
-        raise TranspilerError(f"unknown transpilation method {method!r}")
-    selection = selection.lower()
-    if selection not in {"depth", "swaps"}:
-        raise TranspilerError(f"unknown selection metric {selection!r}")
-
-    prepared = prepare_circuit(circuit)
-    coupling_map = _resolve_coupling(coupling, prepared.num_qubits)
-    if prepared.num_qubits > coupling_map.num_qubits:
-        raise TranspilerError(
-            f"circuit needs {prepared.num_qubits} qubits but the device has "
-            f"{coupling_map.num_qubits}"
+    with executor_scope(executor, max_workers) as trial_executor:
+        pipeline = build_mirage_pipeline(
+            coupling,
+            basis=basis,
+            method=method,
+            selection=selection,
+            aggression=aggression,
+            layout_trials=layout_trials,
+            refinement_rounds=refinement_rounds,
+            routing_trials=routing_trials,
+            coverage=coverage,
+            use_vf2=use_vf2,
+            seed=seed,
+            executor=trial_executor,
         )
-    coverage = coverage if coverage is not None else get_coverage_set(basis)
-    input_metrics = evaluate(prepared, basis=basis, coverage=coverage)
+        state = pipeline.execute(circuit)
+    result: TranspileResult = state.properties.require("result")
+    result.runtime_seconds = time.perf_counter() - start
+    result.pipeline_report = pipeline.report()
+    return result
 
-    # SWAP-free embedding short-circuit (paper: VF2Layout before SABRE/MIRAGE).
-    if use_vf2:
-        embedding = vf2_layout(prepared, coupling_map)
-        if embedding is not None:
-            routed = apply_layout(prepared, embedding, coupling_map.num_qubits)
-            metrics = evaluate(routed, basis=basis, coverage=coverage)
-            return TranspileResult(
-                circuit=routed,
-                metrics=metrics,
-                method="vf2",
-                basis=basis,
-                initial_layout=embedding,
-                final_layout=embedding.copy(),
-                swaps_added=0,
-                mirrors_accepted=0,
-                mirror_candidates=0,
-                runtime_seconds=time.perf_counter() - start,
-                selection_metric="none",
-                trial_index=-1,
-                input_metrics=input_metrics,
+
+def transpile_many(
+    circuits: Iterable[QuantumCircuit],
+    coupling: CouplingMap | str,
+    *,
+    basis: str = "sqrt_iswap",
+    method: str = "mirage",
+    selection: str = "depth",
+    aggression: int | str | Sequence[int] | None = None,
+    layout_trials: int = 4,
+    refinement_rounds: int = 2,
+    routing_trials: int = 1,
+    coverage: CoverageSet | None = None,
+    use_vf2: bool = True,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = 11,
+    executor: str | TrialExecutor | None = None,
+    max_workers: int | None = None,
+) -> BatchResult:
+    """Transpile a batch of circuits sharing one coverage set and executor.
+
+    The coverage set for ``basis`` is constructed (or taken from
+    ``coverage``) once, and a single :class:`TrialExecutor` — including its
+    worker pool, when parallel — is reused across all circuits, so batch
+    callers pay pool start-up costs once.  Per-circuit seeds are spawned
+    from ``seed`` via ``numpy.random.SeedSequence`` by batch position:
+    for a fixed circuit list and seed the batch is fully reproducible and
+    independent of executor choice, but reordering, inserting or removing
+    circuits reseeds the affected positions (and a batch of one does not
+    reproduce a bare :func:`transpile` call with the same integer seed).
+
+    Args:
+        circuits: the circuits to transpile.
+        (remaining arguments exactly as :func:`transpile`.)
+
+    Returns:
+        A :class:`BatchResult` holding one :class:`TranspileResult` per
+        circuit (in input order) plus aggregate per-stage timings.
+    """
+    start = time.perf_counter()
+    batch = list(circuits)
+    # Fail fast on typos — even for an empty batch, and before paying for
+    # the coverage-set build.
+    method, selection = validate_flow(method, selection)
+    results: list[TranspileResult] = []
+    with executor_scope(executor, max_workers) as trial_executor:
+        shared_coverage = (
+            coverage if coverage is not None else get_coverage_set(basis)
+        )
+        circuit_seeds = seed_sequence(seed).spawn(len(batch)) if batch else []
+        for circuit, circuit_seed in zip(batch, circuit_seeds):
+            results.append(
+                transpile(
+                    circuit,
+                    coupling,
+                    basis=basis,
+                    method=method,
+                    selection=selection,
+                    aggression=aggression,
+                    layout_trials=layout_trials,
+                    refinement_rounds=refinement_rounds,
+                    routing_trials=routing_trials,
+                    coverage=shared_coverage,
+                    use_vf2=use_vf2,
+                    seed=circuit_seed,
+                    executor=trial_executor,
+                )
             )
-
-    # Router factory: SABRE or MIRAGE with an aggression schedule.
-    if method == "sabre":
-        def router_factory(trial: int) -> SabreSwap:
-            return SabreSwap(coupling_map, seed=None if seed is None else seed + trial)
-    else:
-        schedule = schedule_from_spec(layout_trials, aggression)
-
-        def router_factory(trial: int) -> SabreSwap:
-            return MirageSwap(
-                coupling_map,
-                coverage,
-                aggression=schedule[trial % len(schedule)],
-                seed=None if seed is None else seed + trial,
-            )
-
-    metric = (
-        depth_metric(basis=basis, coverage=coverage)
-        if selection == "depth"
-        else swap_count_metric
-    )
-    driver = SabreLayout(
-        coupling_map,
-        router_factory,
-        layout_trials=layout_trials,
-        refinement_rounds=refinement_rounds,
-        routing_trials=routing_trials,
-        selection_metric=metric,
-        metric_name=selection,
-        seed=seed,
-    )
-    best = driver.run(prepared.to_dag())
-    routed = best.routing.to_circuit()
-    metrics = evaluate(
-        best.routing.dag,
-        basis=basis,
-        coverage=coverage,
-        mirrors_accepted=best.routing.mirrors_accepted,
-    )
-    return TranspileResult(
-        circuit=routed,
-        metrics=metrics,
-        method=method,
-        basis=basis,
-        initial_layout=best.routing.initial_layout,
-        final_layout=best.routing.final_layout,
-        swaps_added=best.routing.swaps_added,
-        mirrors_accepted=best.routing.mirrors_accepted,
-        mirror_candidates=best.routing.mirror_candidates,
+        executor_name = trial_executor.name
+    return BatchResult(
+        results=results,
         runtime_seconds=time.perf_counter() - start,
-        selection_metric=selection,
-        trial_index=best.trial_index,
-        input_metrics=input_metrics,
+        executor=executor_name,
     )
 
 
@@ -196,35 +209,41 @@ def compare_methods(
     *,
     basis: str = "sqrt_iswap",
     layout_trials: int = 4,
-    seed: int | None = 11,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = 11,
     selections: Sequence[str] = ("swaps", "depth"),
+    executor: str | TrialExecutor | None = None,
+    max_workers: int | None = None,
 ) -> dict[str, TranspileResult]:
     """Run the SABRE baseline and MIRAGE variants on the same circuit.
 
-    Returns a dict with keys ``"sabre"`` plus ``"mirage-<selection>"`` for
-    each requested post-selection metric — the comparison behind the
-    paper's Figs. 11 and 12.
+    One trial executor (and its worker pool, when parallel) is shared
+    across all variants.  Returns a dict with keys ``"sabre"`` plus
+    ``"mirage-<selection>"`` for each requested post-selection metric —
+    the comparison behind the paper's Figs. 11 and 12.
     """
     results: dict[str, TranspileResult] = {}
-    results["sabre"] = transpile(
-        circuit,
-        coupling,
-        basis=basis,
-        method="sabre",
-        selection="swaps",
-        layout_trials=layout_trials,
-        use_vf2=False,
-        seed=seed,
-    )
-    for selection in selections:
-        results[f"mirage-{selection}"] = transpile(
+    with executor_scope(executor, max_workers) as trial_executor:
+        results["sabre"] = transpile(
             circuit,
             coupling,
             basis=basis,
-            method="mirage",
-            selection=selection,
+            method="sabre",
+            selection="swaps",
             layout_trials=layout_trials,
             use_vf2=False,
             seed=seed,
+            executor=trial_executor,
         )
+        for selection in selections:
+            results[f"mirage-{selection}"] = transpile(
+                circuit,
+                coupling,
+                basis=basis,
+                method="mirage",
+                selection=selection,
+                layout_trials=layout_trials,
+                use_vf2=False,
+                seed=seed,
+                executor=trial_executor,
+            )
     return results

@@ -14,6 +14,7 @@ effectiveness.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -27,12 +28,18 @@ class CoordinateCache:
     Keys are byte strings of the matrix rounded to ``decimals`` decimal
     places, so numerically identical blocks produced by different gate
     sequences share an entry.
+
+    All operations are guarded by a lock: the module-level instance is
+    shared by every concurrent routing trial when a thread executor is in
+    use, and unguarded ``move_to_end``/``popitem`` pairs race into
+    ``KeyError``.  Coordinate extraction itself runs outside the lock.
     """
 
     def __init__(self, maxsize: int = 4096, decimals: int = 9) -> None:
         self.maxsize = maxsize
         self.decimals = decimals
         self._store: OrderedDict[bytes, tuple[float, float, float]] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -40,37 +47,63 @@ class CoordinateCache:
         rounded = np.round(np.asarray(unitary, dtype=complex), self.decimals)
         return rounded.tobytes()
 
-    def coordinate(self, unitary: np.ndarray) -> tuple[float, float, float]:
-        """Coordinate of ``unitary`` with memoisation."""
-        key = self._key(unitary)
-        cached = self._store.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._store.move_to_end(key)
-            return cached
-        self.misses += 1
-        value = tuple(weyl_coordinates(unitary))
+    def _insert(self, key: bytes, value: tuple[float, float, float]) -> None:
+        # Caller must hold the lock.
         self._store[key] = value
         if len(self._store) > self.maxsize:
             self._store.popitem(last=False)
+
+    def coordinate(self, unitary: np.ndarray) -> tuple[float, float, float]:
+        """Coordinate of ``unitary`` with memoisation."""
+        key = self._key(unitary)
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._store.move_to_end(key)
+                return cached
+            self.misses += 1
+        # Extract outside the lock — this is the expensive part, and a
+        # duplicate computation by a racing thread is deterministic anyway.
+        value = tuple(weyl_coordinates(unitary))
+        with self._lock:
+            self._insert(key, value)
         return value
 
     def put(self, unitary: np.ndarray, coordinate: tuple[float, float, float]) -> None:
         """Insert a known coordinate (used when mirroring analytically)."""
-        self._store[self._key(unitary)] = tuple(coordinate)
-        if len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
+        key = self._key(unitary)
+        with self._lock:
+            self._insert(key, tuple(coordinate))
 
     def info(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._store),
+            }
 
     def clear(self) -> None:
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
+
+    def __getstate__(self) -> dict:
+        # Locks cannot be pickled; process-pool workers get a cache copy
+        # with a fresh lock.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 #: Module-level cache shared by the transpiler passes (cleared per run if

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 from functools import lru_cache
 from typing import Iterable, Sequence
 
@@ -32,7 +33,6 @@ from repro.linalg.random import _as_rng, haar_unitary
 from repro.polytopes.polytope import WeylPolytope
 from repro.weyl.canonical import PI4, chamber_vertices
 from repro.weyl.catalog import (
-    basis_gate_coordinate,
     basis_gate_cost,
     basis_gate_matrix,
     max_exact_depth,
@@ -300,8 +300,22 @@ class CoverageSet:
         self.atol = atol
         self.polytopes = sorted(polytopes, key=lambda poly: poly.cost)
         self._cost_cache: dict[tuple[float, float, float], float] = {}
+        # One coverage set is shared by every concurrent routing trial
+        # under a thread executor, so cache and counters are lock-guarded
+        # (matching CoordinateCache).
+        self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
+
+    def __getstate__(self) -> dict:
+        # Locks cannot be pickled; process-pool workers get a fresh one.
+        state = self.__dict__.copy()
+        del state["_cache_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
 
     # -- queries ---------------------------------------------------------
 
@@ -323,13 +337,17 @@ class CoverageSet:
         """Minimum decomposition cost of a canonical coordinate."""
         point = tuple(float(x) for x in coordinate)
         key = (round(point[0], 6), round(point[1], 6), round(point[2], 6))
-        cached = self._cost_cache.get(key)
-        if cached is not None:
-            self._cache_hits += 1
-            return cached
-        self._cache_misses += 1
+        with self._cache_lock:
+            cached = self._cost_cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                return cached
+            self._cache_misses += 1
+        # Polytope membership runs outside the lock; a racing duplicate
+        # computation yields the same deterministic cost.
         cost = self._uncached_cost(point)
-        self._cost_cache[key] = cost
+        with self._cache_lock:
+            self._cost_cache[key] = cost
         return cost
 
     def _uncached_cost(self, point: tuple[float, float, float]) -> float:
@@ -362,16 +380,18 @@ class CoverageSet:
         }
 
     def cache_info(self) -> dict[str, int]:
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._cost_cache),
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "size": len(self._cost_cache),
+            }
 
     def clear_cache(self) -> None:
-        self._cost_cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
+        with self._cache_lock:
+            self._cost_cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         depths = [poly.depth for poly in self.polytopes]

@@ -11,7 +11,7 @@ depth-one ansatz or the planar region reached by two CNOTs.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 from scipy.optimize import minimize

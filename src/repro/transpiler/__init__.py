@@ -1,8 +1,24 @@
-"""Transpiler substrate: topologies, layouts, metrics, SABRE baseline."""
+"""Transpiler substrate: topologies, layouts, metrics, pipeline, executors."""
 
+from repro.transpiler.executors import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    TrialExecutor,
+    executor_scope,
+    resolve_executor,
+)
 from repro.transpiler.layout import Layout, apply_layout, interaction_graph, vf2_layout
 from repro.transpiler.metrics import CircuitMetrics, evaluate, gate_cost, improvement, node_coordinate
-from repro.transpiler.passmanager import PassManager, PassRecord
+from repro.transpiler.passmanager import (
+    BasePass,
+    FunctionPass,
+    PassManager,
+    PassRecord,
+    PipelineState,
+    PropertySet,
+)
 from repro.transpiler.topologies import (
     CouplingMap,
     all_to_all_topology,
@@ -15,6 +31,13 @@ from repro.transpiler.topologies import (
 )
 
 __all__ = [
+    "EXECUTORS",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "TrialExecutor",
+    "executor_scope",
+    "resolve_executor",
     "Layout",
     "apply_layout",
     "interaction_graph",
@@ -24,8 +47,12 @@ __all__ = [
     "gate_cost",
     "improvement",
     "node_coordinate",
+    "BasePass",
+    "FunctionPass",
     "PassManager",
     "PassRecord",
+    "PipelineState",
+    "PropertySet",
     "CouplingMap",
     "all_to_all_topology",
     "grid_topology",

@@ -1,0 +1,206 @@
+"""Pluggable executors for independent transpilation trials.
+
+The SABRE/MIRAGE layout search runs many independent trials (paper
+Section V uses a 20 x 20 budget); each trial only needs the circuit DAG,
+a router and its own RNG stream, so the trials are embarrassingly
+parallel.  :class:`TrialExecutor` abstracts *how* a batch of such trials
+is evaluated:
+
+* :class:`SerialExecutor` — in-process loop (the reference behaviour);
+* :class:`ThreadExecutor` — ``concurrent.futures.ThreadPoolExecutor``,
+  useful when trials release the GIL or for IO-bound metric oracles;
+* :class:`ProcessExecutor` — ``concurrent.futures.ProcessPoolExecutor``
+  for real CPU parallelism.  The mapped function and its tasks must be
+  picklable (the layout search uses module-level functions and frozen
+  dataclasses for exactly this reason).
+
+All executors preserve input order, so a deterministic per-task seeding
+scheme yields results that are byte-identical no matter which executor —
+or how many workers — ran the batch.  Pool-backed executors create their
+pool lazily on first use and can be reused across circuits (the batch
+API :func:`repro.core.transpile.transpile_many` shares one executor for
+the whole batch); call :meth:`TrialExecutor.close` or use the executor
+as a context manager to release workers.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import contextlib
+import math
+import os
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.exceptions import TranspilerError
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+class TrialExecutor:
+    """Strategy object evaluating a function over a batch of trial tasks."""
+
+    name: str = "executor"
+
+    def map(
+        self,
+        fn: Callable[[_Task], _Result],
+        tasks: Iterable[_Task],
+    ) -> list[_Result]:
+        """Apply ``fn`` to every task, returning results in input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources.  Idempotent."""
+
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(TrialExecutor):
+    """Evaluate trials one after another in the calling process."""
+
+    name = "serial"
+
+    def map(
+        self,
+        fn: Callable[[_Task], _Result],
+        tasks: Iterable[_Task],
+    ) -> list[_Result]:
+        return [fn(task) for task in tasks]
+
+
+class _PoolExecutor(TrialExecutor):
+    """Shared lazy-pool plumbing for the ``concurrent.futures`` backends."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise TranspilerError("max_workers must be a positive integer")
+        self.max_workers = max_workers
+        self._pool: concurrent.futures.Executor | None = None
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        raise NotImplementedError
+
+    def map(
+        self,
+        fn: Callable[[_Task], _Result],
+        tasks: Iterable[_Task],
+    ) -> list[_Result]:
+        batch: Sequence[_Task] = list(tasks)
+        if len(batch) <= 1:
+            # Not worth dispatching (and keeps single-trial runs pool-free).
+            return [fn(task) for task in batch]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        # Chunked dispatch lets pickle memoise objects shared between the
+        # tasks of a chunk (DAGs, coverage sets) instead of re-serialising
+        # them once per task; harmless for the thread pool.
+        workers = self.max_workers or os.cpu_count() or 1
+        chunksize = max(1, math.ceil(len(batch) / workers))
+        return list(self._pool.map(fn, batch, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Evaluate trials on a thread pool."""
+
+    name = "threads"
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-trial"
+        )
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Evaluate trials on a process pool.
+
+    The mapped function must be a module-level callable and every task
+    must be picklable; :func:`repro.transpiler.passes.run_layout_trial`
+    and :class:`repro.transpiler.passes.TrialTask` satisfy both.
+    """
+
+    name = "processes"
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers
+        )
+
+
+#: Registry of executor names accepted by :func:`resolve_executor` (and by
+#: the ``executor=`` argument of the transpile APIs).
+EXECUTORS: dict[str, type[TrialExecutor]] = {
+    "serial": SerialExecutor,
+    "threads": ThreadExecutor,
+    "thread": ThreadExecutor,
+    "processes": ProcessExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def resolve_executor(
+    executor: "str | TrialExecutor | None",
+    max_workers: int | None = None,
+) -> TrialExecutor:
+    """Coerce an executor specification into a :class:`TrialExecutor`.
+
+    ``None`` means serial; a string is looked up in :data:`EXECUTORS`; an
+    existing executor instance is passed through unchanged (``max_workers``
+    is ignored for instances — configure them at construction time).
+    """
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, TrialExecutor):
+        return executor
+    if isinstance(executor, str):
+        try:
+            cls = EXECUTORS[executor.lower()]
+        except KeyError:
+            known = ", ".join(sorted(set(EXECUTORS)))
+            raise TranspilerError(
+                f"unknown executor {executor!r} (known: {known})"
+            ) from None
+        if cls is SerialExecutor:
+            return cls()
+        return cls(max_workers=max_workers)
+    raise TranspilerError(f"cannot interpret {executor!r} as a trial executor")
+
+
+def owns_executor(executor: "str | TrialExecutor | None") -> bool:
+    """Whether :func:`resolve_executor` would create (and thus own) a new
+    executor for this specification, rather than borrow an instance."""
+    return not isinstance(executor, TrialExecutor)
+
+
+@contextlib.contextmanager
+def executor_scope(
+    executor: "str | TrialExecutor | None",
+    max_workers: int | None = None,
+) -> Iterator[TrialExecutor]:
+    """Resolve an executor spec, closing on exit only executors we created.
+
+    Borrowed :class:`TrialExecutor` instances are yielded untouched and
+    left open for the caller to reuse; executors built from ``None`` or a
+    string spec are closed when the scope exits.
+    """
+    resolved = resolve_executor(executor, max_workers)
+    try:
+        yield resolved
+    finally:
+        if owns_executor(executor):
+            resolved.close()

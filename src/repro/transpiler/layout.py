@@ -8,7 +8,7 @@ the paper runs before invoking SABRE / MIRAGE.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import networkx as nx
 import numpy as np

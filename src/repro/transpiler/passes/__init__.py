@@ -8,9 +8,15 @@ from repro.transpiler.passes.cleanup import (
 )
 from repro.transpiler.passes.consolidate import consolidate_blocks
 from repro.transpiler.passes.sabre_layout import (
+    DepthMetric,
     LayoutResult,
     SabreLayout,
+    SabreRouterFactory,
+    TrialOutcome,
+    TrialTask,
     depth_metric,
+    run_layout_trial,
+    seed_sequence,
     swap_count_metric,
 )
 from repro.transpiler.passes.sabre_swap import RoutingResult, SabreSwap
@@ -22,9 +28,15 @@ __all__ = [
     "remove_directives",
     "remove_identity_gates",
     "consolidate_blocks",
+    "DepthMetric",
     "LayoutResult",
     "SabreLayout",
+    "SabreRouterFactory",
+    "TrialOutcome",
+    "TrialTask",
     "depth_metric",
+    "run_layout_trial",
+    "seed_sequence",
     "swap_count_metric",
     "RoutingResult",
     "SabreSwap",

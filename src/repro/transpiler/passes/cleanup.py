@@ -9,7 +9,6 @@ executed — only routing-inserted SWAPs cost pulses).
 from __future__ import annotations
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Gate
 
 
 def remove_directives(circuit: QuantumCircuit) -> QuantumCircuit:

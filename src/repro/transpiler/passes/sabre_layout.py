@@ -6,19 +6,28 @@ layout of the other), then the refined layout is routed one final time and
 the best trial is kept according to a *post-selection metric* — SWAP count
 (stock SABRE) or decomposition-aware circuit depth (MIRAGE's improvement,
 paper Section IV-B).
+
+Trials are fully independent: each one draws from its own RNG stream
+spawned via :class:`numpy.random.SeedSequence`, so the best result is
+identical no matter in which order — or on which
+:class:`~repro.transpiler.executors.TrialExecutor` — the trials run.
+:func:`run_layout_trial` is a module-level function over a picklable
+:class:`TrialTask` precisely so the process-pool executor can ship trials
+to worker processes.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Sequence
+import math
+from typing import Callable
 
 import numpy as np
 
 from repro.circuits.dag import DAGCircuit
-from repro.linalg.random import _as_rng
 from repro.polytopes.coverage import CoverageSet
 from repro.transpiler import metrics as metrics_mod
+from repro.transpiler.executors import TrialExecutor, executor_scope
 from repro.transpiler.layout import Layout
 from repro.transpiler.passes.sabre_swap import RoutingResult, SabreSwap
 from repro.transpiler.topologies import CouplingMap
@@ -42,6 +51,7 @@ class LayoutResult:
     score: float
     trial_index: int
     metric_name: str
+    trial_scores: list[float] | None = None
 
     @property
     def dag(self) -> DAGCircuit:
@@ -55,21 +65,122 @@ def _reverse_dag(dag: DAGCircuit) -> DAGCircuit:
     return reverse
 
 
+def seed_sequence(
+    seed: int | np.random.SeedSequence | np.random.Generator | None,
+) -> np.random.SeedSequence:
+    """Coerce any supported seed specification into a ``SeedSequence``.
+
+    A caller-provided ``SeedSequence`` is rebuilt from its entropy and
+    spawn key rather than used directly: ``spawn()`` mutates the parent's
+    spawn counter, so reusing the caller's instance would make every run
+    draw different child streams (silently breaking "same seed, same
+    result").  The rebuilt copy always spawns from a fresh counter.
+    A caller-provided ``Generator``, by contrast, is consumed — one draw
+    of entropy advances its state, so reusing it gives fresh randomness.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.SeedSequence(
+            entropy=seed.entropy, spawn_key=seed.spawn_key
+        )
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(2**63)))
+    return np.random.SeedSequence(seed)
+
+
 def swap_count_metric(result: RoutingResult) -> float:
     """Stock SABRE post-selection: fewest inserted SWAP gates."""
     return float(result.swaps_added)
 
 
+@dataclasses.dataclass(frozen=True)
+class DepthMetric:
+    """MIRAGE post-selection: smallest decomposition-aware critical path.
+
+    A frozen dataclass rather than a closure so that trial tasks carrying
+    it stay picklable for the process-pool executor.
+    """
+
+    basis: str = "sqrt_iswap"
+    coverage: CoverageSet | None = None
+
+    def __call__(self, result: RoutingResult) -> float:
+        evaluated = metrics_mod.evaluate(
+            result.dag, basis=self.basis, coverage=self.coverage
+        )
+        return evaluated.depth
+
+
 def depth_metric(
     basis: str = "sqrt_iswap", coverage: CoverageSet | None = None
 ) -> SelectionMetric:
-    """MIRAGE post-selection: smallest decomposition-aware critical path."""
+    """Build the MIRAGE depth post-selection metric."""
+    return DepthMetric(basis=basis, coverage=coverage)
 
-    def metric(result: RoutingResult) -> float:
-        evaluated = metrics_mod.evaluate(result.dag, basis=basis, coverage=coverage)
-        return evaluated.depth
 
-    return metric
+@dataclasses.dataclass(frozen=True)
+class SabreRouterFactory:
+    """Picklable factory building a stock :class:`SabreSwap` per trial."""
+
+    coupling: CouplingMap
+
+    def __call__(self, trial: int) -> SabreSwap:
+        return SabreSwap(self.coupling)
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialTask:
+    """Everything one independent layout trial needs, picklable."""
+
+    trial_index: int
+    seed: np.random.SeedSequence
+    dag: DAGCircuit
+    reverse_dag: DAGCircuit
+    coupling: CouplingMap
+    router_factory: RouterFactory
+    refinement_rounds: int
+    routing_trials: int
+    selection_metric: SelectionMetric
+
+
+@dataclasses.dataclass
+class TrialOutcome:
+    """Score and routing of one completed layout trial."""
+
+    routing: RoutingResult
+    score: float
+    trial_index: int
+
+
+def run_layout_trial(task: TrialTask) -> TrialOutcome:
+    """Run one independent layout trial (module-level for picklability).
+
+    The trial's entire randomness — initial layout, router tie-breaking in
+    every refinement round and final routing — comes from one generator
+    seeded by ``task.seed``, so the outcome depends only on the task, never
+    on sibling trials or execution order.
+    """
+    rng = np.random.default_rng(task.seed)
+    router = task.router_factory(task.trial_index)
+    layout = Layout.random(
+        task.dag.num_qubits, task.coupling.num_qubits, seed=rng
+    )
+    for _ in range(task.refinement_rounds):
+        forward = router.run(task.dag, layout, seed=rng)
+        layout = forward.final_layout
+        backward = router.run(task.reverse_dag, layout, seed=rng)
+        layout = backward.final_layout
+    best_routing: RoutingResult | None = None
+    best_score = math.inf
+    for _ in range(max(1, task.routing_trials)):
+        result = router.run(task.dag, layout, seed=rng)
+        score = task.selection_metric(result)
+        if best_routing is None or score < best_score:
+            best_routing = result
+            best_score = score
+    assert best_routing is not None  # routing_trials >= 1
+    return TrialOutcome(
+        routing=best_routing, score=best_score, trial_index=task.trial_index
+    )
 
 
 class SabreLayout:
@@ -78,14 +189,25 @@ class SabreLayout:
     Args:
         coupling: device coupling map.
         router_factory: builds the router used for trial ``i`` (lets MIRAGE
-            distribute aggression levels across trials).
+            distribute aggression levels across trials).  Must be picklable
+            for the process executor — use a module-level function or a
+            frozen dataclass such as :class:`SabreRouterFactory`.
         layout_trials: number of independent random initial layouts.
         refinement_rounds: forward/backward routing rounds per trial.
         routing_trials: independent final routings per refined layout.
         selection_metric: callable scoring a :class:`RoutingResult`
             (lower is better); defaults to SWAP count.
         metric_name: label stored in the result.
-        seed: base RNG seed.
+        seed: base RNG seed — an int, a ``SeedSequence`` or a ``Generator``
+            (``None`` for nondeterministic).  Per-trial streams are spawned
+            from it, so results do not depend on trial execution order.
+        executor: trial execution strategy — ``"serial"`` (default),
+            ``"threads"``, ``"processes"`` or a
+            :class:`~repro.transpiler.executors.TrialExecutor` instance.
+            Executors created from a string spec are closed after each run;
+            instances are borrowed and left open for reuse.
+        max_workers: worker count for executors created from a string spec
+            (ignored when an executor instance is passed).
     """
 
     def __init__(
@@ -98,42 +220,54 @@ class SabreLayout:
         routing_trials: int = DEFAULT_ROUTING_TRIALS,
         selection_metric: SelectionMetric | None = None,
         metric_name: str = "swaps",
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+        executor: str | TrialExecutor | None = None,
+        max_workers: int | None = None,
     ) -> None:
         self.coupling = coupling
-        self.router_factory = router_factory or (
-            lambda trial: SabreSwap(coupling, seed=trial)
-        )
+        self.router_factory = router_factory or SabreRouterFactory(coupling)
         self.layout_trials = layout_trials
         self.refinement_rounds = refinement_rounds
         self.routing_trials = routing_trials
         self.selection_metric = selection_metric or swap_count_metric
         self.metric_name = metric_name
-        self._rng = _as_rng(seed)
+        self.seed = seed
+        self.executor = executor
+        self.max_workers = max_workers
+
+    def trial_tasks(self, dag: DAGCircuit) -> list[TrialTask]:
+        """Build the independent, order-insensitive tasks for ``dag``."""
+        reverse = _reverse_dag(dag)
+        trial_seeds = seed_sequence(self.seed).spawn(self.layout_trials)
+        return [
+            TrialTask(
+                trial_index=trial,
+                seed=trial_seeds[trial],
+                dag=dag,
+                reverse_dag=reverse,
+                coupling=self.coupling,
+                router_factory=self.router_factory,
+                refinement_rounds=self.refinement_rounds,
+                routing_trials=self.routing_trials,
+                selection_metric=self.selection_metric,
+            )
+            for trial in range(self.layout_trials)
+        ]
 
     def run(self, dag: DAGCircuit) -> LayoutResult:
-        """Search layouts and return the best routed result."""
-        reverse = _reverse_dag(dag)
-        best: LayoutResult | None = None
-        for trial in range(self.layout_trials):
-            router = self.router_factory(trial)
-            layout = Layout.random(
-                dag.num_qubits, self.coupling.num_qubits, seed=self._rng
-            )
-            for _ in range(self.refinement_rounds):
-                forward = router.run(dag, layout, seed=self._rng)
-                layout = forward.final_layout
-                backward = router.run(reverse, layout, seed=self._rng)
-                layout = backward.final_layout
-            for _ in range(max(1, self.routing_trials)):
-                result = router.run(dag, layout, seed=self._rng)
-                score = self.selection_metric(result)
-                if best is None or score < best.score:
-                    best = LayoutResult(
-                        routing=result,
-                        score=score,
-                        trial_index=trial,
-                        metric_name=self.metric_name,
-                    )
-        assert best is not None  # layout_trials >= 1
-        return best
+        """Search layouts and return the best routed result.
+
+        Ties between equal-scoring trials always go to the lowest trial
+        index, keeping the winner independent of the executor.
+        """
+        tasks = self.trial_tasks(dag)
+        with executor_scope(self.executor, self.max_workers) as executor:
+            outcomes = executor.map(run_layout_trial, tasks)
+        best = min(outcomes, key=lambda o: (o.score, o.trial_index))
+        return LayoutResult(
+            routing=best.routing,
+            score=best.score,
+            trial_index=best.trial_index,
+            metric_name=self.metric_name,
+            trial_scores=[outcome.score for outcome in outcomes],
+        )

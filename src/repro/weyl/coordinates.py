@@ -29,7 +29,6 @@ import numpy as np
 from repro.exceptions import WeylError
 from repro.linalg.constants import MAGIC, MAGIC_DAG
 from repro.weyl.canonical import (
-    PI2,
     PI4,
     canonical_gate,
     canonicalize_coordinate,

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.circuits.library import (
-    TABLE_III_SUITE,
     amplitude_estimation,
     benchmark_circuit,
     benchmark_suite,

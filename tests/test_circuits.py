@@ -18,7 +18,6 @@ from repro.circuits import (
 )
 from repro.linalg import (
     CNOT,
-    SWAP,
     equal_up_to_global_phase,
     haar_unitary,
     is_unitary,

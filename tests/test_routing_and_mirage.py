@@ -1,6 +1,5 @@
 """Tests for SABRE routing, the MIRAGE pass and the top-level transpile API."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import TranspilerError
@@ -19,7 +18,7 @@ from repro.core import (
 )
 from repro.linalg import equal_up_to_global_phase
 from repro.polytopes import get_coverage_set
-from repro.transpiler import Layout, evaluate, grid_topology, line_topology, ring_topology
+from repro.transpiler import Layout, grid_topology, line_topology, ring_topology
 from repro.transpiler.passes import SabreLayout, SabreSwap, depth_metric, swap_count_metric
 
 COVERAGE = get_coverage_set("sqrt_iswap", num_samples=250, seed=3)

@@ -27,7 +27,6 @@ from repro.transpiler.passes import (
     clean_input,
     consolidate_blocks,
     elide_input_swaps,
-    remove_identity_gates,
     unroll_to_two_qubit,
 )
 from repro.transpiler.passmanager import PassManager

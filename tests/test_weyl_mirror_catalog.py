@@ -12,7 +12,6 @@ from repro.weyl import (
     IDENTITY_COORD,
     ISWAP_COORD,
     PI4,
-    PI8,
     SQRT_ISWAP_COORD,
     SWAP_COORD,
     WeylCoordinate,
