@@ -1,18 +1,30 @@
 """Quickstart: transpile a QFT circuit with MIRAGE vs. the SABRE baseline.
 
-Covers the three entry points of the staged pipeline:
+Covers the entry points of the staged pipeline:
 
 * :func:`repro.core.compare_methods` — SABRE vs. MIRAGE on one circuit;
 * the per-stage timing report every :class:`TranspileResult` carries;
 * :func:`repro.core.transpile_many` — batch transpilation sharing one
-  coverage set and one (optionally parallel) trial executor.
+  coverage set and one (optionally parallel) trial executor;
+* the batched coverage queries (``cost_of_many`` / ``mirror_cost_of_many``
+  / ``depth_of_many``) behind every cost estimate, and the persistent
+  coverage cache that makes warm starts near-instant.
+
+Coverage sets built through :func:`repro.polytopes.get_coverage_set` (what
+``transpile`` uses) are persisted under ``$MIRAGE_CACHE_DIR`` (default
+``~/.cache/mirage``), so every process after the first skips the dominant
+cold-start cost.  Set ``MIRAGE_CACHE_DISABLE=1`` to opt out.
 
 Run with ``python examples/quickstart.py``.
 """
 
+import numpy as np
+
 from repro.circuits.library import ghz, qft, twolocal_full
 from repro.core import compare_methods, transpile_many
+from repro.polytopes import get_coverage_set
 from repro.transpiler import square_lattice_topology
+from repro.weyl.haar import cached_haar_samples
 
 
 def main() -> None:
@@ -57,6 +69,18 @@ def main() -> None:
     for row in batch.summaries():
         print(f"  {row['method']:<8} depth={row['depth']:<8} "
               f"swaps={row['swaps']:<3} mirrors={row['mirrors']}")
+
+    # Batched coverage queries: every per-gate hot path is array-shaped.
+    # cost_of_many answers a whole coordinate batch with stacked half-space
+    # matrix products (element-wise identical to cost_of in a loop).
+    coverage = get_coverage_set("sqrt_iswap", mirror=True)
+    samples = cached_haar_samples(1000, 2024)
+    costs = coverage.cost_of_many(samples)
+    mirror_costs = coverage.mirror_cost_of_many(samples)
+    print(f"\nbatched coverage queries over {len(samples)} Haar samples:")
+    print(f"  mean cost        {costs.mean():.3f}")
+    print(f"  mean mirror cost {mirror_costs.mean():.3f}")
+    print(f"  mirror cheaper for {np.mean(mirror_costs < costs):.1%} of classes")
 
 
 if __name__ == "__main__":

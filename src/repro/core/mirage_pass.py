@@ -74,8 +74,13 @@ class MirageSwap(SabreSwap):
         mirrored_coordinate = mirror_coordinate(coordinate)
 
         unit = self.coverage.unit_cost
-        decomposition_current = self.coverage.cost_of(coordinate) / unit
-        decomposition_mirror = self.coverage.cost_of(mirrored_coordinate) / unit
+        # Gate and mirror resolved by one batched coverage query (and the
+        # shared memo table, so repeated blocks stay cached).
+        pair_costs = self.coverage.cost_of_many(
+            (coordinate, mirrored_coordinate)
+        )
+        decomposition_current = float(pair_costs[0]) / unit
+        decomposition_mirror = float(pair_costs[1]) / unit
 
         lookahead = self._extended_set([node], dag)
         routing_current = self.routing_heuristic([], lookahead, layout)

@@ -81,8 +81,11 @@ def approximate_gate_costs(
     fidelities = np.empty(len(samples))
     approximations = 0
 
+    # All exact decomposition costs up front in one batched query.
+    exact_costs = coverage.cost_of_many(samples)
+
     for index, target in enumerate(samples):
-        exact_cost = coverage.cost_of(target)
+        exact_cost = float(exact_costs[index])
         exact_fidelity = model.gate_fidelity(exact_cost)
         best_cost = exact_cost
         best_fidelity = exact_fidelity

@@ -1,25 +1,42 @@
 """Caches used on the transpiler hot path (paper Section VI-C).
 
-Two caches matter in practice:
+Three caches matter in practice:
 
 * a unitary-to-Weyl-coordinate cache keyed by the matrix of the interior
   (1Q-stripped) block, mirroring the rewritten ``ConsolidateBlocks`` pass of
-  the paper, and
+  the paper,
 * the per-coverage-set cost lookup table (kept inside
-  :class:`repro.polytopes.coverage.CoverageSet`).
+  :class:`repro.polytopes.coverage.CoverageSet`), and
+* a persistent on-disk coverage-set cache, so the dominant cold-start cost
+  — building the coverage polytopes — amortises across processes and runs.
 
-Both expose hit/miss counters so the Fig. 13 bench can report cache
-effectiveness.
+The disk cache lives under ``$MIRAGE_CACHE_DIR`` (default
+``~/.cache/mirage``), keys entries on every build parameter plus a format
+version, and writes atomically (temp file + ``os.replace``) so concurrent
+builders never observe a torn entry.  ``MIRAGE_CACHE_DISABLE=1`` turns it
+off entirely.
+
+The in-memory caches expose hit/miss counters so the Fig. 13 bench can
+report cache effectiveness.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import tempfile
 import threading
 from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.weyl.coordinates import weyl_coordinates
+from repro.weyl.coordinates import weyl_coordinates, weyl_coordinates_many
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.polytopes.coverage import CoverageSet
 
 
 class CoordinateCache:
@@ -70,6 +87,53 @@ class CoordinateCache:
             self._insert(key, value)
         return value
 
+    def coordinates_many(
+        self, unitaries: list[np.ndarray]
+    ) -> list[tuple[float, float, float]]:
+        """Coordinates of a batch of unitaries with memoisation.
+
+        Cache misses are deduplicated by key and extracted through one
+        :func:`weyl_coordinates_many` call, so a consolidation pass pays the
+        eigenvalue/candidate machinery once per *distinct* block matrix —
+        and the whole miss set is one numpy batch rather than a Python loop.
+        """
+        keys = [self._key(unitary) for unitary in unitaries]
+        results: list[tuple[float, float, float] | None] = [None] * len(keys)
+        miss_order: list[bytes] = []
+        miss_positions: list[int] = []
+        miss_index: dict[bytes, int] = {}
+        with self._lock:
+            for position, key in enumerate(keys):
+                cached = self._store.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    self._store.move_to_end(key)
+                    results[position] = cached
+                elif key in miss_index:
+                    # A duplicate matrix earlier in this same batch: counted
+                    # as a hit-to-be because it costs one extraction.
+                    self.hits += 1
+                else:
+                    self.misses += 1
+                    miss_index[key] = len(miss_order)
+                    miss_order.append(key)
+                    miss_positions.append(position)
+        if miss_order:
+            # Extract outside the lock — the expensive part, batched.
+            distinct = [unitaries[position] for position in miss_positions]
+            extracted = weyl_coordinates_many(np.stack(distinct))
+            values = [
+                (float(row[0]), float(row[1]), float(row[2]))
+                for row in extracted
+            ]
+            with self._lock:
+                for key, value in zip(miss_order, values):
+                    self._insert(key, value)
+            for position, key in enumerate(keys):
+                if results[position] is None:
+                    results[position] = values[miss_index[key]]
+        return results  # type: ignore[return-value]
+
     def put(self, unitary: np.ndarray, coordinate: tuple[float, float, float]) -> None:
         """Insert a known coordinate (used when mirroring analytically)."""
         key = self._key(unitary)
@@ -109,3 +173,163 @@ class CoordinateCache:
 #: Module-level cache shared by the transpiler passes (cleared per run if
 #: deterministic measurements are needed).
 GLOBAL_COORDINATE_CACHE = CoordinateCache()
+
+
+# -- persistent coverage-set cache ------------------------------------------
+
+#: Bump when the pickled CoverageSet layout changes incompatibly, or when a
+#: construction-semantics change is not already captured by the probe
+#: fingerprint below (e.g. the landmark-anchoring optimiser).
+COVERAGE_CACHE_VERSION = 1
+
+#: Memoised construction fingerprint (computed once per process).
+_CONSTRUCTION_FINGERPRINT: str | None = None
+
+
+def _construction_fingerprint() -> str:
+    """Digest of a tiny deterministic slice of coverage construction.
+
+    Runs the real sampling pipeline (basis matrices, structured/random
+    locals, batched Weyl extraction, canonicalisation) and the mirror
+    transform on fixed seeds and hashes the resulting coordinates.  Any
+    change to that machinery — new landmark constants, different candidate
+    scoring, a tweaked mirror branch — changes the digest and therefore the
+    cache key, so warm machines can never keep serving pre-change geometry
+    while cold machines build post-change sets.
+    """
+    global _CONSTRUCTION_FINGERPRINT
+    if _CONSTRUCTION_FINGERPRINT is None:
+        from repro.polytopes.coverage import (
+            _LANDMARKS,
+            _STRUCTURED_ANGLES,
+            sample_ansatz_coordinates,
+        )
+        from repro.weyl.mirror import mirror_coordinates_many
+
+        probe = sample_ansatz_coordinates("sqrt_iswap", 2, 6, seed=123)
+        mirrored = mirror_coordinates_many(probe)
+        payload = (
+            np.round(probe, 12).tobytes()
+            + np.round(mirrored, 12).tobytes()
+            + repr((_LANDMARKS, _STRUCTURED_ANGLES)).encode()
+        )
+        _CONSTRUCTION_FINGERPRINT = hashlib.sha256(payload).hexdigest()[:16]
+    return _CONSTRUCTION_FINGERPRINT
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "MIRAGE_CACHE_DIR"
+
+#: Environment variable disabling the disk cache entirely ("1"/"true").
+CACHE_DISABLE_ENV = "MIRAGE_CACHE_DISABLE"
+
+
+def coverage_cache_dir() -> Path:
+    """Directory holding persistent coverage-set entries.
+
+    ``$MIRAGE_CACHE_DIR`` wins; the default is ``~/.cache/mirage`` (or
+    ``$XDG_CACHE_HOME/mirage`` when set).
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "mirage"
+
+
+def coverage_cache_enabled() -> bool:
+    """Whether the persistent coverage cache is active."""
+    flag = os.environ.get(CACHE_DISABLE_ENV, "").strip().lower()
+    return flag not in {"1", "true", "yes"}
+
+
+def coverage_cache_key(**parameters) -> str:
+    """Stable cache key for one coverage-set build configuration.
+
+    Every parameter that influences the built polytopes participates, plus
+    the format version and a fingerprint of the construction machinery
+    itself, so any change — basis, mirror, sample count, seed, depth bound,
+    anchoring, tolerance, pickle layout, or the sampling/extraction code —
+    lands in a different entry.
+    """
+    payload = sorted(parameters.items()) + [
+        ("version", COVERAGE_CACHE_VERSION),
+        ("construction", _construction_fingerprint()),
+    ]
+    digest = hashlib.sha256(repr(payload).encode()).hexdigest()[:24]
+    return f"coverage-v{COVERAGE_CACHE_VERSION}-{digest}"
+
+
+def coverage_cache_path(**parameters) -> Path:
+    """Path of the cache entry for one build configuration."""
+    return coverage_cache_dir() / f"{coverage_cache_key(**parameters)}.pkl"
+
+
+def load_cached_coverage_set(**parameters) -> "CoverageSet | None":
+    """Load a coverage set from disk, or ``None`` on miss/corruption.
+
+    A corrupt or unreadable entry is deleted (best effort) and treated as a
+    miss, so a crashed writer or format drift can never wedge the cache.
+    """
+    if not coverage_cache_enabled():
+        return None
+    path = coverage_cache_path(**parameters)
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store_coverage_set(coverage: "CoverageSet", **parameters) -> Path | None:
+    """Persist a coverage set atomically; returns the path (or ``None``).
+
+    The pickle is written to a temporary sibling file and moved into place
+    with ``os.replace``, so readers only ever see complete entries even
+    with concurrent writers.  I/O and serialisation failures are swallowed
+    — the cache is an optimisation, never a correctness dependency.
+    """
+    if not coverage_cache_enabled():
+        return None
+    path = coverage_cache_path(**parameters)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, prefix="tmp-coverage-", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(coverage, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+    except Exception:
+        return None
+    return path
+
+
+def clear_coverage_cache() -> int:
+    """Delete every persistent coverage entry; returns the removed count.
+
+    Also sweeps orphaned ``tmp-coverage-*`` files left behind by writers
+    killed between temp-file creation and the atomic rename.
+    """
+    directory = coverage_cache_dir()
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for pattern in ("coverage-v*.pkl", "tmp-coverage-*"):
+        for entry in directory.glob(pattern):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

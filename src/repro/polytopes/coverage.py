@@ -37,8 +37,8 @@ from repro.weyl.catalog import (
     basis_gate_matrix,
     max_exact_depth,
 )
-from repro.weyl.coordinates import weyl_coordinates
-from repro.weyl.mirror import mirror_coordinate
+from repro.weyl.coordinates import weyl_coordinates_many
+from repro.weyl.mirror import mirror_coordinate, mirror_coordinates_many
 
 #: Landmark coordinates anchored into the hulls when numerically reachable.
 _LANDMARKS: tuple[tuple[float, float, float], ...] = (
@@ -95,15 +95,15 @@ def sample_ansatz_coordinates(
     rng = _as_rng(seed)
     basis_matrix = basis_gate_matrix(basis)
 
-    points: list[tuple[float, float, float]] = []
     # Local-free powers of the basis gate are exact, cheap anchor points.
+    matrices: list[np.ndarray] = []
     power = np.eye(4, dtype=complex)
     for _ in range(depth):
         power = basis_matrix @ power
-        points.append(tuple(weyl_coordinates(power)))
+        matrices.append(power)
 
     if depth == 1:
-        return np.array(points, dtype=float)
+        return weyl_coordinates_many(np.stack(matrices))
 
     num_structured = int(num_samples * structured_fraction)
     for index in range(num_samples):
@@ -114,8 +114,10 @@ def sample_ansatz_coordinates(
             else:
                 local = _random_local(rng)
             product = basis_matrix @ local @ product
-        points.append(tuple(weyl_coordinates(product)))
-    return np.array(points, dtype=float)
+        matrices.append(product)
+    # One batched extraction across anchors and samples — the dominant cost
+    # of cold coverage construction.
+    return weyl_coordinates_many(np.stack(matrices))
 
 
 def _anchor_landmarks(
@@ -164,15 +166,75 @@ class CircuitPolytope:
     pieces: list[WeylPolytope]
     mirrored: bool = False
 
+    def __post_init__(self) -> None:
+        self._stack: tuple[np.ndarray, np.ndarray, list[tuple[int, int]]] | None = None
+
+    def __getstate__(self) -> dict:
+        # The stacked half-space matrices are derived data; drop them so
+        # process-pool / disk-cache pickles stay small.
+        state = self.__dict__.copy()
+        state["_stack"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_stack", None)
+
+    def _halfspace_stack(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, list[tuple[int, int]]]:
+        """All pieces' linear constraints stacked into one ``(A, b)`` pair.
+
+        Returns ``(A, b, slices)`` where ``slices[i]`` is the row range of
+        piece ``i``, so one matrix product against ``A`` evaluates every
+        facet inequality of every piece at once.
+        """
+        if self._stack is None:
+            blocks_a: list[np.ndarray] = []
+            blocks_b: list[np.ndarray] = []
+            slices: list[tuple[int, int]] = []
+            row = 0
+            for piece in self.pieces:
+                lin_a, lin_b = piece.halfspaces
+                blocks_a.append(lin_a)
+                blocks_b.append(lin_b)
+                slices.append((row, row + len(lin_a)))
+                row += len(lin_a)
+            stacked_a = (
+                np.vstack(blocks_a) if row else np.zeros((0, 3))
+            )
+            stacked_b = (
+                np.concatenate(blocks_b) if row else np.zeros(0)
+            )
+            self._stack = (stacked_a, stacked_b, slices)
+        return self._stack
+
     def contains(self, coordinate: Iterable[float], atol: float = 1e-6) -> bool:
         point = tuple(coordinate)
         return any(piece.contains(point, atol=atol) for piece in self.pieces)
 
     def contains_mask(self, samples: np.ndarray, atol: float = 1e-6) -> np.ndarray:
-        samples = np.atleast_2d(samples)
+        """Membership mask of ``samples`` in the union of the pieces.
+
+        Facet inequalities of every piece are evaluated in a single matrix
+        product against the stacked half-space matrices; only the off-plane
+        distance bound of degenerate pieces needs a per-piece product.
+        """
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        stacked_a, stacked_b, slices = self._halfspace_stack()
+        values = (
+            samples @ stacked_a.T - stacked_b
+            if len(stacked_a)
+            else np.zeros((len(samples), 0))
+        )
         mask = np.zeros(len(samples), dtype=bool)
-        for piece in self.pieces:
-            mask |= piece.contains_mask(samples, atol=atol)
+        for piece, (start, stop) in zip(self.pieces, slices):
+            piece_mask = piece._stack_mask(
+                samples, values[:, start:stop], atol=atol
+            )
+            mask |= piece_mask
+            if mask.all():
+                break
         return mask
 
     def haar_volume(self, samples: np.ndarray, atol: float = 1e-6) -> float:
@@ -236,11 +298,11 @@ def build_circuit_polytope(
     pieces = [WeylPolytope(points, name=f"{basis}-k{depth}")]
     if mirror:
         for part in _split_by_mirror_branch(points):
-            mirrored_points = np.array(
-                [mirror_coordinate(row) for row in part]
-            )
             pieces.append(
-                WeylPolytope(mirrored_points, name=f"{basis}-k{depth}-mirror")
+                WeylPolytope(
+                    mirror_coordinates_many(part),
+                    name=f"{basis}-k{depth}-mirror",
+                )
             )
     cost = depth * basis_gate_cost(basis)
     return CircuitPolytope(
@@ -308,14 +370,22 @@ class CoverageSet:
         self._cache_misses = 0
 
     def __getstate__(self) -> dict:
-        # Locks cannot be pickled; process-pool workers get a fresh one.
+        # Locks cannot be pickled, and the memoised cost table plus its
+        # hit/miss counters are pure derived data — dropping them keeps
+        # process-pool trial dispatch and on-disk cache entries small.
         state = self.__dict__.copy()
         del state["_cache_lock"]
+        del state["_cost_cache"]
+        del state["_cache_hits"]
+        del state["_cache_misses"]
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._cache_lock = threading.Lock()
+        self._cost_cache = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # -- queries ---------------------------------------------------------
 
@@ -358,14 +428,88 @@ class CoverageSet:
         # is only reachable for points slightly outside the chamber.
         return self.max_cost
 
+    def cost_of_many(self, coordinates: np.ndarray) -> np.ndarray:
+        """Minimum decomposition costs of an ``(n, 3)`` coordinate batch.
+
+        Element-wise identical to calling :meth:`cost_of` in a loop —
+        including consultation and population of the memoised cost table —
+        but the uncached coordinates are resolved by winnowing: each
+        polytope (cheapest first) classifies the still-unresolved rows with
+        one stacked half-space product, and resolved rows drop out of the
+        next round.
+
+        Args:
+            coordinates: ``(n, 3)`` array (or sequence of triples).
+
+        Returns:
+            ``(n,)`` float array of costs.
+        """
+        coords = np.asarray(coordinates, dtype=float)
+        if coords.size == 0:
+            return np.zeros(0)
+        coords = np.atleast_2d(coords)
+        n = len(coords)
+        costs = np.empty(n, dtype=float)
+        keys: list[tuple[float, float, float]] = []
+        pending: list[int] = []
+        # Rows sharing a rounded key with an earlier miss reuse that row's
+        # result, exactly as a sequential cost_of loop would via the memo.
+        duplicates: list[tuple[int, int]] = []
+        pending_by_key: dict[tuple[float, float, float], int] = {}
+        rows = coords.tolist()
+        with self._cache_lock:
+            for index, row in enumerate(rows):
+                key = (round(row[0], 6), round(row[1], 6), round(row[2], 6))
+                keys.append(key)
+                cached = self._cost_cache.get(key)
+                if cached is not None:
+                    self._cache_hits += 1
+                    costs[index] = cached
+                elif key in pending_by_key:
+                    self._cache_hits += 1
+                    duplicates.append((index, pending_by_key[key]))
+                else:
+                    self._cache_misses += 1
+                    pending_by_key[key] = len(pending)
+                    pending.append(index)
+        if pending:
+            pending_rows = np.array(pending)
+            subset = coords[pending_rows]
+            # The last polytope covers the full chamber, so this default is
+            # only reachable for points slightly outside the chamber.
+            resolved = np.full(len(pending_rows), self.max_cost)
+            remaining = np.arange(len(pending_rows))
+            for polytope in self.polytopes:
+                if remaining.size == 0:
+                    break
+                mask = polytope.contains_mask(subset[remaining], atol=self.atol)
+                resolved[remaining[mask]] = polytope.cost
+                remaining = remaining[~mask]
+            costs[pending_rows] = resolved
+            for index, position in duplicates:
+                costs[index] = resolved[position]
+            with self._cache_lock:
+                for index, value in zip(pending, resolved.tolist()):
+                    self._cost_cache[keys[index]] = value
+        return costs
+
     def depth_of(self, coordinate: Iterable[float]) -> int:
         """Minimum number of basis applications for a coordinate."""
         cost = self.cost_of(coordinate)
         return int(round(cost / self.unit_cost))
 
+    def depth_of_many(self, coordinates: np.ndarray) -> np.ndarray:
+        """Minimum basis applications per coordinate, as an int array."""
+        costs = self.cost_of_many(coordinates)
+        return np.rint(costs / self.unit_cost).astype(int)
+
     def mirror_cost_of(self, coordinate: Iterable[float]) -> float:
         """Cost of the mirror class of a coordinate."""
         return self.cost_of(mirror_coordinate(tuple(coordinate)))
+
+    def mirror_cost_of_many(self, coordinates: np.ndarray) -> np.ndarray:
+        """Costs of the mirror classes of an ``(n, 3)`` coordinate batch."""
+        return self.cost_of_many(mirror_coordinates_many(coordinates))
 
     def cheaper_polytopes(self, cost: float) -> list[CircuitPolytope]:
         """Polytopes strictly cheaper than ``cost`` (for approximation)."""
@@ -447,6 +591,55 @@ def build_coverage_set(
     return CoverageSet(basis, polytopes, mirrored=mirror, atol=atol)
 
 
+def load_or_build_coverage_set(
+    basis: str,
+    *,
+    max_depth: int | None = None,
+    num_samples: int = 1500,
+    seed: int = 7,
+    mirror: bool = False,
+    anchor: bool = True,
+    atol: float = 1e-6,
+) -> CoverageSet:
+    """Build a coverage set through the persistent on-disk cache.
+
+    On a cache hit the pickled set is loaded from
+    ``$MIRAGE_CACHE_DIR`` (see :mod:`repro.polytopes.cache`); on a miss the
+    set is built exactly as :func:`build_coverage_set` would and stored
+    atomically for subsequent processes and runs.  Construction is
+    deterministic in all the key parameters, so a loaded set answers every
+    query identically to a freshly built one.
+    """
+    from repro.polytopes.cache import (
+        load_cached_coverage_set,
+        store_coverage_set,
+    )
+
+    parameters = dict(
+        basis=basis,
+        max_depth=max_depth,
+        num_samples=num_samples,
+        seed=seed,
+        mirror=mirror,
+        anchor=anchor,
+        atol=atol,
+    )
+    cached = load_cached_coverage_set(**parameters)
+    if cached is not None:
+        return cached
+    coverage = build_coverage_set(
+        basis,
+        max_depth=max_depth,
+        num_samples=num_samples,
+        seed=seed,
+        mirror=mirror,
+        anchor=anchor,
+        atol=atol,
+    )
+    store_coverage_set(coverage, **parameters)
+    return coverage
+
+
 @lru_cache(maxsize=32)
 def get_coverage_set(
     basis: str,
@@ -456,8 +649,12 @@ def get_coverage_set(
     seed: int = 7,
     max_depth: int | None = None,
 ) -> CoverageSet:
-    """Shared, memoised coverage sets used by the transpiler and benches."""
-    return build_coverage_set(
+    """Shared, memoised coverage sets used by the transpiler and benches.
+
+    Backed by the persistent disk cache, so the first call of a fresh
+    process loads the pickled set instead of rebuilding the polytopes.
+    """
+    return load_or_build_coverage_set(
         basis,
         max_depth=max_depth,
         num_samples=num_samples,

@@ -43,7 +43,7 @@ def expected_cost(
     coverage: CoverageSet, samples: np.ndarray
 ) -> tuple[float, np.ndarray]:
     """Expected cost and the per-sample cost vector over coordinate samples."""
-    costs = np.array([coverage.cost_of(row) for row in np.atleast_2d(samples)])
+    costs = coverage.cost_of_many(np.atleast_2d(samples))
     return float(costs.mean()), costs
 
 

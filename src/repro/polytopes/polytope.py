@@ -79,12 +79,68 @@ class WeylPolytope:
                 self._basis = basis[: self._rank]
                 self._hull = None
                 self._vertices = self.points
+                if self._rank == 1:
+                    projected = (centered @ self._basis.T).ravel()
+                    self._interval = (
+                        float(projected.min()),
+                        float(projected.max()),
+                    )
         elif rank == 1:
             projected = (centered @ basis.T).ravel()
             self._interval = (float(projected.min()), float(projected.max()))
             self._vertices = self.points[
                 [int(np.argmin(projected)), int(np.argmax(projected))]
             ]
+        self._build_halfspaces()
+
+    def _build_halfspaces(self) -> None:
+        """Precompute the linear form of the membership test.
+
+        Membership of ``x`` splits into (i) an off-plane distance bound
+        ``||orth @ (x - centroid)|| <= atol`` for polytopes of dimension
+        below three, and (ii) linear inequalities ``A @ x - b <= atol``
+        (hull facets mapped back to ambient coordinates, or the interval
+        bounds of a 1-D hull).  Both parts are precomputed here so batched
+        membership queries reduce to matrix products.
+        """
+        rank = self._rank
+        centroid = self._centroid
+        basis = self._basis
+
+        if rank == 3:
+            self._orth = np.zeros((0, 3))
+        elif rank == 0:
+            self._orth = np.eye(3)
+        else:
+            # Rows of the orthogonal complement of the (orthonormal) basis.
+            _, _, complement = np.linalg.svd(basis, full_matrices=True)
+            self._orth = complement[rank:]
+
+        self._degenerate = rank >= 2 and self._hull is None
+        if self._hull is not None:
+            equations = self._hull.equations
+            lin_a = equations[:, :-1] @ basis
+            lin_b = lin_a @ centroid - equations[:, -1]
+        elif rank == 1:
+            direction = basis[0]
+            low, high = self._interval
+            offset = float(direction @ centroid)
+            lin_a = np.vstack([direction, -direction])
+            lin_b = np.array([offset + high, -offset - low])
+        else:
+            lin_a = np.zeros((0, 3))
+            lin_b = np.zeros(0)
+        self._lin_a = lin_a
+        self._lin_b = lin_b
+
+    @property
+    def halfspaces(self) -> tuple[np.ndarray, np.ndarray]:
+        """Linear inequalities ``(A, b)`` with membership ``A @ x <= b``.
+
+        Off-plane constraints of degenerate polytopes are not included;
+        see :meth:`contains_mask` for the complete batched test.
+        """
+        return self._lin_a, self._lin_b
 
     # -- properties ------------------------------------------------------
 
@@ -107,33 +163,15 @@ class WeylPolytope:
 
     # -- queries ---------------------------------------------------------
 
-    def _offplane_distance(self, point: np.ndarray) -> float:
-        """Distance from the affine hull of the polytope."""
-        delta = point - self._centroid
-        if self._rank == 3:
-            return 0.0
-        if self._rank == 0:
-            return float(np.linalg.norm(delta))
-        in_plane = self._basis.T @ (self._basis @ delta)
-        return float(np.linalg.norm(delta - in_plane))
-
     def contains(self, point: Iterable[float], atol: float = 1e-6) -> bool:
-        """Whether ``point`` lies inside the polytope (within ``atol``)."""
+        """Whether ``point`` lies inside the polytope (within ``atol``).
+
+        Evaluates the same precomputed half-space form as
+        :meth:`contains_mask`, so scalar and batched membership can never
+        disagree — not even for points floating-point-close to a facet.
+        """
         point = np.asarray(tuple(point), dtype=float)
-        if self._offplane_distance(point) > atol:
-            return False
-        delta = point - self._centroid
-        if self._rank == 0:
-            return True
-        projected = self._basis @ delta
-        if self._rank == 1:
-            low, high = self._interval
-            return bool(low - atol <= projected[0] <= high + atol)
-        if self._hull is None:
-            return False
-        equations = self._hull.equations
-        values = equations[:, :-1] @ projected + equations[:, -1]
-        return bool(np.all(values <= atol))
+        return bool(self.contains_mask(point[None, :], atol=atol)[0])
 
     def nearest_point(self, point: Iterable[float]) -> np.ndarray:
         """Euclidean projection of ``point`` onto the polytope.
@@ -182,15 +220,39 @@ class WeylPolytope:
     def contains_mask(
         self, samples: np.ndarray, atol: float = 1e-6
     ) -> np.ndarray:
-        """Boolean membership mask for an ``(n, 3)`` array of samples."""
+        """Boolean membership mask for an ``(n, 3)`` array of samples.
+
+        Uses the precomputed half-space form for every rank, so the whole
+        batch reduces to one matrix product (plus an off-plane distance
+        check for degenerate polytopes).
+        """
         samples = np.atleast_2d(np.asarray(samples, dtype=float))
-        if self._rank == 3 and self._hull is not None:
-            delta = samples - self._centroid
-            projected = delta @ self._basis.T
-            equations = self._hull.equations
-            values = projected @ equations[:, :-1].T + equations[:, -1]
-            return np.all(values <= atol, axis=1)
-        return np.array([self.contains(row, atol=atol) for row in samples])
+        if self._lin_a.shape[0]:
+            values = samples @ self._lin_a.T - self._lin_b
+        else:
+            values = np.zeros((len(samples), 0))
+        return self._stack_mask(samples, values, atol=atol)
+
+    def _stack_mask(
+        self, samples: np.ndarray, facet_values: np.ndarray, atol: float = 1e-6
+    ) -> np.ndarray:
+        """Membership mask given precomputed facet values ``A @ x - b``.
+
+        Lets callers that stacked several polytopes' half-spaces into one
+        matrix product (see ``CircuitPolytope.contains_mask``) reuse the
+        shared facet evaluation; only the off-plane bound of degenerate
+        polytopes is evaluated here.
+        """
+        if self._degenerate:
+            return np.zeros(len(samples), dtype=bool)
+        if self._orth.shape[0]:
+            off_plane = (samples - self._centroid) @ self._orth.T
+            mask = np.einsum("ij,ij->i", off_plane, off_plane) <= atol * atol
+        else:
+            mask = np.ones(len(samples), dtype=bool)
+        if facet_values.shape[1]:
+            mask &= np.all(facet_values <= atol, axis=1)
+        return mask
 
     def contains_fraction(
         self, samples: np.ndarray, atol: float = 1e-6

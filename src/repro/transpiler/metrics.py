@@ -91,8 +91,23 @@ def evaluate(
     dag = circuit if isinstance(circuit, DAGCircuit) else circuit.to_dag()
     coverage = coverage if coverage is not None else get_coverage_set(basis)
 
+    # One batched coverage query for every two-qubit node up front; the
+    # critical-path walk then reads costs from a plain dict.
+    two_qubit_nodes = [
+        node for node in dag.nodes.values() if node.is_two_qubit
+    ]
+    if two_qubit_nodes:
+        coordinates = [node_coordinate(node) for node in two_qubit_nodes]
+        node_costs = coverage.cost_of_many(coordinates)
+        cost_by_node = {
+            node.node_id: float(cost)
+            for node, cost in zip(two_qubit_nodes, node_costs)
+        }
+    else:
+        cost_by_node = {}
+
     def weight(node: DAGNode) -> float:
-        return gate_cost(node, coverage)
+        return cost_by_node.get(node.node_id, 0.0)
 
     depth = dag.longest_path_length(weight)
     total = sum(weight(node) for node in dag.nodes.values())

@@ -61,16 +61,16 @@ def consolidate_blocks(
     out = QuantumCircuit(circuit.num_qubits, circuit.name)
     open_blocks: dict[frozenset[int], _Block] = {}
     block_of_qubit: dict[int, frozenset[int]] = {}
+    # Emission is two-phase: the streaming walk records blocks and pass-through
+    # instructions in order, then every block coordinate is resolved through
+    # one batched cache query before the output circuit is materialised.
+    emitted: list[tuple[str, object]] = []
 
     def close_block(key: frozenset[int]) -> None:
         block = open_blocks.pop(key)
         for qubit in block.qubits:
             block_of_qubit.pop(qubit, None)
-        coordinate = cache.coordinate(block.matrix) if annotate else None
-        gate = UnitaryGate(
-            block.matrix, label="block", check=False, coordinate=coordinate
-        )
-        out.append(gate, list(block.qubits))
+        emitted.append(("block", block))
 
     def close_blocks_on(qubits: tuple[int, ...]) -> None:
         keys = {block_of_qubit[q] for q in qubits if q in block_of_qubit}
@@ -82,7 +82,7 @@ def consolidate_blocks(
         qubits = instruction.qubits
         if gate.is_directive or len(qubits) > 2:
             close_blocks_on(qubits)
-            out.append_instruction(instruction)
+            emitted.append(("instr", instruction))
             continue
         if len(qubits) == 1:
             qubit = qubits[0]
@@ -90,7 +90,7 @@ def consolidate_blocks(
             if key is not None:
                 open_blocks[key].absorb(gate.matrix(), qubits)
             else:
-                out.append_instruction(instruction)
+                emitted.append(("instr", instruction))
             continue
         # Two-qubit gate.
         key = frozenset(qubits)
@@ -106,4 +106,24 @@ def consolidate_blocks(
 
     for key in list(open_blocks):
         close_block(key)
+
+    blocks = [entry for kind, entry in emitted if kind == "block"]
+    if annotate and blocks:
+        coordinates = iter(
+            cache.coordinates_many([block.matrix for block in blocks])
+        )
+    else:
+        coordinates = iter([None] * len(blocks))
+
+    for kind, entry in emitted:
+        if kind == "instr":
+            out.append_instruction(entry)
+        else:
+            gate = UnitaryGate(
+                entry.matrix,
+                label="block",
+                check=False,
+                coordinate=next(coordinates),
+            )
+            out.append(gate, list(entry.qubits))
     return out

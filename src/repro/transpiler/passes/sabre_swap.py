@@ -14,6 +14,7 @@ where the paper's intermediate layer decides between a gate and its mirror.
 from __future__ import annotations
 
 import dataclasses
+from collections import deque
 
 import numpy as np
 
@@ -212,10 +213,10 @@ class SabreSwap:
     def _extended_set(self, front: list[DAGNode], dag: DAGCircuit) -> list[DAGNode]:
         """Upcoming two-qubit gates after the front layer (lookahead window)."""
         extended: list[DAGNode] = []
-        queue = list(front)
+        queue = deque(front)
         seen = {node.node_id for node in front}
         while queue and len(extended) < self.extended_set_size:
-            node = queue.pop(0)
+            node = queue.popleft()
             for successor in dag.successors(node):
                 if successor.node_id in seen:
                     continue
@@ -249,6 +250,92 @@ class SabreSwap:
             ) / len(extended)
         return float(total)
 
+    def _candidate_scores(
+        self,
+        front: list[DAGNode],
+        extended: list[DAGNode],
+        layout: Layout,
+        candidates: list[tuple[int, int]],
+    ) -> list[float]:
+        """Heuristic score of each candidate SWAP, by incremental deltas.
+
+        The front and lookahead distance sums are computed once for the
+        current layout; each candidate edge then only re-evaluates the
+        distances of gates touching its two physical qubits.  Distances are
+        integer-valued hop counts, so the delta-adjusted sums are exactly
+        the sums a full rescore would produce and the chosen edge is
+        bit-identical to the historical copy-layout-and-rescore loop.
+        """
+        distance = self.coupling.distance_matrix
+        front_pairs = [
+            tuple(layout.v2p(q) for q in node.qubits)
+            for node in front
+            if len(node.qubits) == 2
+        ]
+        extended_pairs = [
+            tuple(layout.v2p(q) for q in node.qubits) for node in extended
+        ]
+
+        groups = ((0, front_pairs), (1, extended_pairs))
+        sums = [0.0, 0.0]
+        touching: dict[int, list[tuple[int, int, int]]] = {}
+        for group, pairs in groups:
+            for left, right in pairs:
+                sums[group] += distance[left, right]
+                touching.setdefault(left, []).append((group, left, right))
+                if right != left:
+                    touching.setdefault(right, []).append((group, left, right))
+
+        finite = all(np.isfinite(total) for total in sums)
+        scores = []
+        for edge_a, edge_b in candidates:
+            if finite:
+                deltas = [0.0, 0.0]
+                for group, left, right in touching.get(edge_a, ()):
+                    if left == edge_b or right == edge_b:
+                        continue  # both endpoints swap; distance unchanged
+                    new_left = edge_b if left == edge_a else left
+                    new_right = edge_b if right == edge_a else right
+                    deltas[group] += (
+                        distance[new_left, new_right] - distance[left, right]
+                    )
+                for group, left, right in touching.get(edge_b, ()):
+                    if left == edge_a or right == edge_a:
+                        continue
+                    new_left = edge_a if left == edge_b else left
+                    new_right = edge_a if right == edge_b else right
+                    deltas[group] += (
+                        distance[new_left, new_right] - distance[left, right]
+                    )
+                front_sum = sums[0] + deltas[0]
+                extended_sum = sums[1] + deltas[1]
+            else:
+                # Infinite distances (disconnected coupling) poison the
+                # delta arithmetic with inf - inf; fall back to direct sums.
+                front_sum = sum(
+                    distance[
+                        edge_b if left == edge_a else edge_a if left == edge_b else left,
+                        edge_b if right == edge_a else edge_a if right == edge_b else right,
+                    ]
+                    for left, right in front_pairs
+                )
+                extended_sum = sum(
+                    distance[
+                        edge_b if left == edge_a else edge_a if left == edge_b else left,
+                        edge_b if right == edge_a else edge_a if right == edge_b else right,
+                    ]
+                    for left, right in extended_pairs
+                )
+            score = 0.0
+            if front_pairs:
+                score += front_sum / len(front_pairs)
+            if extended_pairs:
+                score += self.extended_set_weight * extended_sum / len(
+                    extended_pairs
+                )
+            scores.append(float(score))
+        return scores
+
     def _choose_swap(
         self,
         front: list[DAGNode],
@@ -262,13 +349,11 @@ class SabreSwap:
                 "no SWAP candidates: the coupling graph is likely disconnected"
             )
         extended = self._extended_set(front, dag)
+        scores = self._candidate_scores(front, extended, layout, candidates)
         best_score = np.inf
         best_edges: list[tuple[int, int]] = []
-        for edge in candidates:
-            trial = layout.copy()
-            trial.swap_physical(*edge)
-            score = self.routing_heuristic(front, extended, trial)
-            score *= max(self._decay[edge[0]], self._decay[edge[1]])
+        for edge, base_score in zip(candidates, scores):
+            score = base_score * max(self._decay[edge[0]], self._decay[edge[1]])
             if score < best_score - 1e-12:
                 best_score = score
                 best_edges = [edge]

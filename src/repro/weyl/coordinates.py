@@ -32,13 +32,10 @@ from repro.weyl.canonical import (
     PI4,
     canonical_gate,
     canonicalize_coordinate,
+    canonicalize_coordinates_many,
     in_weyl_chamber,
 )
-from repro.weyl.invariants import (
-    invariants_close,
-    makhlin_from_coordinate,
-    makhlin_invariants,
-)
+from repro.weyl.invariants import makhlin_from_coordinates_many
 
 
 @dataclasses.dataclass(frozen=True, order=True)
@@ -118,8 +115,34 @@ class WeylCoordinate:
         return f"WeylCoordinate({self.a:.6f}, {self.b:.6f}, {self.c:.6f})"
 
 
-def _candidate_coordinates(thetas: np.ndarray) -> Iterable[tuple[float, float, float]]:
-    """Yield candidate (a, b, c) triples from the four eigen-phase halves.
+def _build_candidate_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Precompute the 96 candidate selections as index/shift tables.
+
+    Candidate ``k`` selects three of the four eigen-phase halves
+    (``_CANDIDATE_SELECTION[k]``) and adds a branch shift
+    (``_CANDIDATE_SHIFT[k]``, zero or ``pi`` per slot).  The enumeration
+    order matches the historical generator exactly: the 24 unshifted
+    permutations first, then for each permutation the three single-slot
+    ``+pi`` shifts.
+    """
+    permutations = list(itertools.permutations(range(4), 3))
+    selections: list[tuple[int, int, int]] = list(permutations)
+    shifts: list[tuple[float, float, float]] = [(0.0, 0.0, 0.0)] * len(permutations)
+    for selection in permutations:
+        for shift_index in range(3):
+            shift = [0.0, 0.0, 0.0]
+            shift[shift_index] = math.pi
+            selections.append(selection)
+            shifts.append(tuple(shift))
+    return np.array(selections, dtype=np.intp), np.array(shifts, dtype=float)
+
+
+#: Index/shift tables enumerating the 96 candidate (a, b, c) pairings.
+_CANDIDATE_SELECTION, _CANDIDATE_SHIFT = _build_candidate_tables()
+
+
+def _candidate_batch(thetas: np.ndarray) -> np.ndarray:
+    """All 96 candidate triples of each theta row, as one numpy batch.
 
     The phases satisfy (up to ordering and mod-pi branches)
 
@@ -129,19 +152,94 @@ def _candidate_coordinates(thetas: np.ndarray) -> Iterable[tuple[float, float, f
     so each ordered choice of three of them produces a candidate via the
     linear map ``a = (t1 + t2)/2, b = (t2 + t3)/2, c = (t1 + t3)/2``.
     Branch shifts of +pi are folded away later by canonicalisation.
+
+    Args:
+        thetas: ``(m, 4)`` array of eigen-phase halves.
+
+    Returns:
+        ``(m, 96, 3)`` array of raw (un-canonicalised) candidate triples.
     """
-    for selection in itertools.permutations(range(4), 3):
-        t1, t2, t3 = (thetas[i] for i in selection)
-        yield ((t1 + t2) / 2.0, (t2 + t3) / 2.0, (t1 + t3) / 2.0)
-    # Branch-shifted variants (rarely needed, but cheap to enumerate) — add
-    # pi to one of the selected phases.
-    for selection in itertools.permutations(range(4), 3):
-        base = [thetas[i] for i in selection]
-        for shift_index in range(3):
-            shifted = list(base)
-            shifted[shift_index] += math.pi
-            t1, t2, t3 = shifted
-            yield ((t1 + t2) / 2.0, (t2 + t3) / 2.0, (t1 + t3) / 2.0)
+    selected = thetas[:, _CANDIDATE_SELECTION] + _CANDIDATE_SHIFT[None, :, :]
+    t1 = selected[..., 0]
+    t2 = selected[..., 1]
+    t3 = selected[..., 2]
+    return np.stack(
+        [(t1 + t2) / 2.0, (t2 + t3) / 2.0, (t1 + t3) / 2.0], axis=-1
+    )
+
+
+def _coordinates_from_thetas(
+    thetas: np.ndarray, target_invariants: np.ndarray, atol: float
+) -> np.ndarray:
+    """Resolve canonical coordinates for a batch of theta rows.
+
+    For each row, all 96 candidate pairings are canonicalised and their
+    Makhlin invariants compared against the target in one numpy batch; the
+    first matching candidate (in the historical enumeration order) wins, so
+    the result is element-wise identical to the former per-candidate Python
+    loop.
+
+    Args:
+        thetas: ``(m, 4)`` eigen-phase halves.
+        target_invariants: ``(m, 3)`` Makhlin invariants of the unitaries.
+        atol: invariant matching tolerance.
+
+    Returns:
+        ``(m, 3)`` canonical coordinates.
+
+    Raises:
+        WeylError: if some row has no candidate within the loose fallback
+            tolerance (which indicates a non-unitary input).
+    """
+    m = len(thetas)
+    raw = _candidate_batch(thetas)
+    targets = np.asarray(target_invariants, dtype=float).reshape(m, 1, 3)
+    out = np.empty((m, 3))
+    matched = np.zeros(m, dtype=bool)
+    # The unshifted permutations (first 24 candidates) almost always contain
+    # the match, so they are scored first and the 72 branch-shifted variants
+    # are only evaluated for rows still unresolved — the batched analogue of
+    # the early exit the former per-candidate loop had.
+    for start, stop in ((0, 24), (24, 96)):
+        pending = np.flatnonzero(~matched)
+        if pending.size == 0:
+            break
+        chunk = canonicalize_coordinates_many(
+            raw[pending, start:stop].reshape(-1, 3)
+        ).reshape(len(pending), stop - start, 3)
+        invariants = makhlin_from_coordinates_many(chunk)
+        chunk_targets = targets[pending]
+        # Same tolerance semantics as np.allclose (used by invariants_close).
+        close = np.all(
+            np.abs(invariants - chunk_targets)
+            <= atol + 1e-5 * np.abs(chunk_targets),
+            axis=-1,
+        )
+        hit = close.any(axis=1)
+        first = np.argmax(close, axis=1)
+        rows = pending[hit]
+        out[rows] = chunk[hit, first[hit]]
+        matched[rows] = True
+
+    if not matched.all():
+        # Accept a slightly looser match before giving up — the invariant
+        # comparison amplifies coordinate error near chamber edges.  Only
+        # the unmatched rows re-score their 96 candidates.
+        unmatched = np.flatnonzero(~matched)
+        candidates = canonicalize_coordinates_many(
+            raw[unmatched].reshape(-1, 3)
+        ).reshape(len(unmatched), 96, 3)
+        invariants = makhlin_from_coordinates_many(candidates)
+        errors = np.linalg.norm(invariants - targets[unmatched], axis=-1)
+        for position, index in enumerate(unmatched):
+            best = int(np.argmin(errors[position]))
+            if errors[position, best] < 1e-3:
+                out[index] = candidates[position, best]
+            else:
+                raise WeylError(
+                    "could not determine Weyl coordinates for the given matrix"
+                )
+    return out
 
 
 def weyl_coordinates(
@@ -163,37 +261,71 @@ def weyl_coordinates(
     unitary = np.asarray(unitary, dtype=complex)
     if unitary.shape != (4, 4):
         raise WeylError(f"expected a 4x4 matrix, got shape {unitary.shape}")
+    coordinate = weyl_coordinates_many(unitary[None, :, :], atol=atol)[0]
+    return (float(coordinate[0]), float(coordinate[1]), float(coordinate[2]))
 
-    det = np.linalg.det(unitary)
-    if abs(abs(det) - 1.0) > 1e-6:
+
+def weyl_coordinates_many(
+    unitaries: np.ndarray | Iterable[np.ndarray], atol: float = 1e-6
+) -> np.ndarray:
+    """Canonical Weyl coordinates of a batch of two-qubit unitaries.
+
+    Both the per-unitary linear algebra (stacked determinants, magic-basis
+    conjugations, eigenvalues) and the dominant cost — scoring the 96
+    candidate pairings of each unitary — run as numpy batches across the
+    whole input; only the final Makhlin-invariant divisions loop per row to
+    stay bit-identical to the scalar complex arithmetic.  The batched path
+    is therefore far faster than repeated calls of :func:`weyl_coordinates`
+    (itself a batch of one) while producing identical values.
+
+    Args:
+        unitaries: ``(m, 4, 4)`` array (or iterable of 4x4 matrices).
+        atol: tolerance used when matching Makhlin invariants.
+
+    Returns:
+        ``(m, 3)`` array of canonical coordinates.
+
+    Raises:
+        WeylError: on malformed shapes or non-unitary inputs.
+    """
+    stack = np.asarray(
+        unitaries if isinstance(unitaries, np.ndarray) else list(unitaries),
+        dtype=complex,
+    )
+    if stack.ndim == 2:
+        stack = stack[None, :, :]
+    if stack.ndim != 3 or stack.shape[1:] != (4, 4):
+        raise WeylError(f"expected (m, 4, 4) matrices, got shape {stack.shape}")
+    if len(stack) == 0:
+        return np.zeros((0, 3))
+
+    determinants = np.linalg.det(stack)
+    if np.any(np.abs(np.abs(determinants) - 1.0) > 1e-6):
         raise WeylError("matrix is not unitary (|det| != 1)")
-    target_invariants = makhlin_invariants(unitary)
-    su = unitary / det**0.25
-
+    su = stack / determinants[:, None, None] ** 0.25
     um = MAGIC_DAG @ su @ MAGIC
-    gamma = um.T @ um
+    gamma = np.transpose(um, (0, 2, 1)) @ um
     eigenvalues = np.linalg.eigvals(gamma)
     # Normalise away numerical drift off the unit circle.
     eigenvalues = eigenvalues / np.abs(eigenvalues)
     thetas = np.angle(eigenvalues) / 2.0
 
-    best_fallback: tuple[float, tuple[float, float, float]] | None = None
-    for raw in _candidate_coordinates(thetas):
-        candidate = canonicalize_coordinate(raw)
-        cand_inv = makhlin_from_coordinate(candidate)
-        if invariants_close(cand_inv, target_invariants, atol=atol):
-            return candidate
-        error = float(
-            np.linalg.norm(np.subtract(cand_inv, target_invariants))
-        )
-        if best_fallback is None or error < best_fallback[0]:
-            best_fallback = (error, candidate)
+    # Makhlin invariants of the raw (un-normalised) unitaries.  The final
+    # divisions run per row with numpy complex scalars because the complex
+    # array-division ufunc rounds differently (by one ulp) than the scalar
+    # path used by makhlin_invariants, and the batch must stay bit-identical
+    # to the scalar API.
+    um_raw = MAGIC_DAG @ stack @ MAGIC
+    gamma_raw = np.transpose(um_raw, (0, 2, 1)) @ um_raw
+    traces = np.trace(gamma_raw, axis1=1, axis2=2)
+    traces_sq = np.trace(gamma_raw @ gamma_raw, axis1=1, axis2=2)
+    targets = np.empty((len(stack), 3))
+    for index in range(len(stack)):
+        g12 = traces[index] ** 2 / (16 * determinants[index])
+        g3 = (traces[index] ** 2 - traces_sq[index]) / (4 * determinants[index])
+        targets[index] = (g12.real, g12.imag, g3.real)
 
-    # Accept a slightly looser match before giving up — the invariant
-    # comparison amplifies coordinate error near chamber edges.
-    if best_fallback is not None and best_fallback[0] < 1e-3:
-        return best_fallback[1]
-    raise WeylError("could not determine Weyl coordinates for the given matrix")
+    return _coordinates_from_thetas(thetas, targets, atol)
 
 
 def coordinate_distance(

@@ -16,7 +16,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.linalg.random import _as_rng, haar_unitary
-from repro.weyl.coordinates import weyl_coordinates
+from repro.weyl.coordinates import weyl_coordinates_many
 
 
 def haar_coordinate_sample(
@@ -27,10 +27,10 @@ def haar_coordinate_sample(
     Returns an ``(num_samples, 3)`` array of canonical coordinates.
     """
     rng = _as_rng(seed)
-    out = np.empty((num_samples, 3), dtype=float)
+    unitaries = np.empty((num_samples, 4, 4), dtype=complex)
     for index in range(num_samples):
-        out[index] = weyl_coordinates(haar_unitary(4, rng))
-    return out
+        unitaries[index] = haar_unitary(4, rng)
+    return weyl_coordinates_many(unitaries)
 
 
 @lru_cache(maxsize=8)

@@ -60,6 +60,22 @@ def makhlin_from_coordinate(
     return g1, g2, g3
 
 
+def makhlin_from_coordinates_many(coordinates: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`makhlin_from_coordinate` over an ``(..., 3)`` array.
+
+    Returns an array of the same leading shape with a trailing axis of
+    ``(g1, g2, g3)``.  Used by the batched Weyl-coordinate extraction to
+    score all candidate triples in one shot.
+    """
+    doubled = 2.0 * np.asarray(coordinates, dtype=float)
+    cos_prod = np.cos(doubled).prod(axis=-1)
+    sin_prod = np.sin(doubled).prod(axis=-1)
+    g1 = cos_prod**2 - sin_prod**2
+    g2 = 0.25 * np.sin(2 * doubled).prod(axis=-1)
+    g3 = 4 * g1 - np.cos(2 * doubled).prod(axis=-1)
+    return np.stack([g1, g2, g3], axis=-1)
+
+
 def invariants_close(
     left: tuple[float, float, float],
     right: tuple[float, float, float],

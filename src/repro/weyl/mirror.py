@@ -14,7 +14,11 @@ from typing import Iterable
 import numpy as np
 
 from repro.linalg.constants import SWAP
-from repro.weyl.canonical import PI4, canonicalize_coordinate
+from repro.weyl.canonical import (
+    PI4,
+    canonicalize_coordinate,
+    canonicalize_coordinates_many,
+)
 from repro.weyl.coordinates import WeylCoordinate
 
 
@@ -45,6 +49,28 @@ def mirror_coordinate(
     else:
         raw = (PI4 - c, PI4 - b, a - PI4)
     return canonicalize_coordinate(raw)
+
+
+def mirror_coordinates_many(coordinates: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`mirror_coordinate` over an ``(n, 3)`` array.
+
+    Applies the same branch of Eq. 1 per row and re-canonicalises the whole
+    batch in one shot, yielding values element-wise identical to the scalar
+    function.
+    """
+    coords = np.asarray(coordinates, dtype=float)
+    if coords.size == 0:
+        return np.zeros((0, 3))
+    coords = np.atleast_2d(coords)
+    a = coords[:, 0]
+    b = coords[:, 1]
+    c = coords[:, 2]
+    low_branch = a <= PI4 + 1e-12
+    raw = np.empty_like(coords)
+    raw[:, 0] = np.where(low_branch, PI4 + c, PI4 - c)
+    raw[:, 1] = PI4 - b
+    raw[:, 2] = np.where(low_branch, PI4 - a, a - PI4)
+    return canonicalize_coordinates_many(raw)
 
 
 def mirror_weyl(coordinate: WeylCoordinate) -> WeylCoordinate:
