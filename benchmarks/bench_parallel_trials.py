@@ -1,81 +1,230 @@
-"""Serial vs. parallel trial execution at the paper's routing budget.
+"""Batch fan-out benchmark: trial-level vs circuit-level parallelism.
 
 The paper's experimental setup (Section V) runs 20 layout trials x 20
-routing trials per circuit.  The trials are independent, so the staged
-pipeline can fan them out over a process pool; this bench compares the
-serial executor against the process executor on the same budget and
-prints the per-stage timing report the pipeline produces (paper Fig. 13
-reports stage runtimes).
+routing trials per circuit over large circuit suites.  Two independent
+axes of parallelism exist:
 
-The full 20 x 20 budget is slow in pure Python, so the default budget is
-reduced; set ``MIRAGE_BENCH_FULL=1`` to run the paper's numbers.  The two
-executors must agree bit-for-bit on the chosen routing — per-trial
-``SeedSequence`` streams make the search order-independent — and the
-bench asserts exactly that.
+* *trial fan-out* — one circuit, its independent routing trials spread
+  over a process pool (the PR-1 design, measured here on one wide QFT);
+* *circuit fan-out* — the batch engine plans every circuit first, pools
+  **all** circuits' trials into one shared chunked dispatch, and selects
+  each circuit's winner afterwards.  Workers stay busy across circuit
+  boundaries, and the coverage set plus per-circuit DAGs ship to workers
+  once per chunk (memoised worker-side) instead of once per trial.
+
+Run ``python benchmarks/bench_parallel_trials.py --smoke`` for the
+CI-sized run, without flags for the default sizes, or with
+``MIRAGE_BENCH_FULL=1`` for the paper's 20 x 20 budget.  The
+machine-readable result lands in ``BENCH_batch_fanout.json`` (override
+with ``--out``).  Every mode must agree byte-for-byte on the chosen
+routings — per-trial ``SeedSequence`` streams make the search
+order-independent — and the bench asserts exactly that.  The headline
+``speedup_circuits_vs_sequential`` needs real cores; on a single-core
+host the JSON records the ratio without judging it.
 """
 
 from __future__ import annotations
 
+import argparse
+import hashlib
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
-from repro.circuits.library import qft
-from repro.core import transpile
+from repro.circuits.library import ghz, qft, twolocal_full
+from repro.core import transpile, transpile_many
+from repro.polytopes import get_coverage_set
 from repro.transpiler import ProcessExecutor, SerialExecutor, line_topology
 
 FULL = os.environ.get("MIRAGE_BENCH_FULL", "") not in ("", "0")
-#: Paper budget is 20 x 20; the reduced default keeps the bench quick.
-LAYOUT_TRIALS = 20 if FULL else 6
-ROUTING_TRIALS = 20 if FULL else 2
-WIDTH = 8
 
 
-def _run(executor, coverage) -> tuple[float, object]:
-    result = transpile(
-        qft(WIDTH),
-        line_topology(WIDTH),
-        method="mirage",
-        selection="depth",
-        layout_trials=LAYOUT_TRIALS,
-        refinement_rounds=2,
-        routing_trials=ROUTING_TRIALS,
+def circuit_digest(circuit) -> str:
+    """Stable digest of a circuit's gate stream (names, params, qubits)."""
+    lines = []
+    for instruction in circuit:
+        gate = instruction.gate
+        params = ",".join(f"{p:.12e}" for p in gate.params)
+        lines.append(f"{gate.name}({params})@{instruction.qubits}")
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def batch_digests(batch) -> list[str]:
+    return [circuit_digest(result.circuit) for result in batch]
+
+
+def _sizes(smoke: bool) -> dict:
+    if FULL:
+        return {
+            "layout_trials": 20, "routing_trials": 20, "wide_width": 8,
+            "batch_copies": 8, "batch_layout_trials": 20,
+        }
+    if smoke:
+        return {
+            "layout_trials": 4, "routing_trials": 2, "wide_width": 6,
+            "batch_copies": 2, "batch_layout_trials": 2,
+        }
+    return {
+        "layout_trials": 6, "routing_trials": 2, "wide_width": 8,
+        "batch_copies": 4, "batch_layout_trials": 4,
+    }
+
+
+def _small_circuit_workload(copies: int) -> list:
+    """Many small circuits — the workload circuit-level fan-out targets."""
+    base = [qft(4), twolocal_full(4), ghz(5), qft(5), twolocal_full(5)]
+    return (base * copies)[: len(base) * copies]
+
+
+def bench_trial_fanout(coverage, sizes) -> dict:
+    """PR-1 comparison: one wide circuit, serial vs process-pool trials."""
+
+    def run(executor):
+        start = time.perf_counter()
+        result = transpile(
+            qft(sizes["wide_width"]),
+            line_topology(sizes["wide_width"]),
+            method="mirage",
+            selection="depth",
+            layout_trials=sizes["layout_trials"],
+            refinement_rounds=2,
+            routing_trials=sizes["routing_trials"],
+            coverage=coverage,
+            use_vf2=False,
+            seed=13,
+            executor=executor,
+        )
+        return time.perf_counter() - start, result
+
+    serial_seconds, serial = run(SerialExecutor())
+    with ProcessExecutor() as pool:
+        # Pre-warm the pool so worker start-up stays out of the timed
+        # window — the bench measures parallelism, not fork cost.
+        pool.map(len, [(), ()])
+        process_seconds, parallel = run(pool)
+
+    assert circuit_digest(serial.circuit) == circuit_digest(parallel.circuit)
+    assert serial.trial_index == parallel.trial_index
+    return {
+        "circuit": f"qft-{sizes['wide_width']}",
+        "budget": f"{sizes['layout_trials']}x{sizes['routing_trials']}",
+        "serial_s": round(serial_seconds, 4),
+        "processes_s": round(process_seconds, 4),
+        "speedup": round(serial_seconds / process_seconds, 3),
+        "digest": circuit_digest(serial.circuit),
+        "stage_seconds": {
+            name: round(seconds, 4)
+            for name, seconds in serial.stage_seconds().items()
+        },
+    }
+
+
+def bench_batch_fanout(coverage, sizes) -> dict:
+    """Many small circuits: sequential vs trial fan-out vs circuit fan-out."""
+    circuits = _small_circuit_workload(sizes["batch_copies"])
+    width = max(circuit.num_qubits for circuit in circuits)
+    coupling = line_topology(width)
+    kwargs = dict(
         coverage=coverage,
         use_vf2=False,
-        seed=13,
-        executor=executor,
-    )
-    return result.runtime_seconds, result
-
-
-def test_parallel_trials_match_serial(benchmark, sqrt_iswap_coverage):
-    def run():
-        serial_seconds, serial = _run(SerialExecutor(), sqrt_iswap_coverage)
-        # Pre-warm the pool so worker start-up stays out of the timed
-        # window — the bench measures trial-level parallelism, not fork cost.
-        with ProcessExecutor() as pool:
-            pool.map(len, [(), ()])
-            process_seconds, parallel = _run(pool, sqrt_iswap_coverage)
-        return serial_seconds, serial, process_seconds, parallel
-
-    serial_seconds, serial, process_seconds, parallel = benchmark.pedantic(
-        run, rounds=1, iterations=1
+        layout_trials=sizes["batch_layout_trials"],
+        refinement_rounds=2,
+        seed=29,
     )
 
-    budget = f"{LAYOUT_TRIALS}x{ROUTING_TRIALS}"
-    print(f"\n[parallel-trials] qft-{WIDTH}, budget {budget}")
-    print(f"  serial    {serial_seconds:8.2f} s")
-    print(f"  processes {process_seconds:8.2f} s "
-          f"(speedup {serial_seconds / process_seconds:.2f}x)")
-    print("  per-stage seconds (serial run):")
-    for name, seconds in serial.stage_seconds().items():
-        print(f"    {name:<12} {seconds:8.3f}")
+    def run(fanout, executor=None):
+        start = time.perf_counter()
+        batch = transpile_many(
+            circuits, coupling, fanout=fanout, executor=executor, **kwargs
+        )
+        return time.perf_counter() - start, batch
 
-    # Identical routing regardless of executor (order-independent trials).
-    assert serial.trial_index == parallel.trial_index
-    assert serial.swaps_added == parallel.swaps_added
-    assert serial.metrics.depth == parallel.metrics.depth
-    assert [(i.gate.name, i.qubits) for i in serial.circuit] == [
-        (i.gate.name, i.qubits) for i in parallel.circuit
-    ]
-    # The routing stage dominates the pipeline at this budget.
-    stage_seconds = serial.stage_seconds()
-    assert stage_seconds["route"] > 0.5 * sum(stage_seconds.values())
+    sequential_seconds, sequential = run("trials")
+    with ProcessExecutor() as pool:
+        pool.map(len, [(), ()])
+        trials_seconds, trials_batch = run("trials", pool)
+        circuits_seconds, circuits_batch = run("circuits", pool)
+
+    reference = batch_digests(sequential)
+    assert batch_digests(trials_batch) == reference
+    assert batch_digests(circuits_batch) == reference
+
+    return {
+        "workload": {
+            "circuits": len(circuits),
+            "widths": sorted({c.num_qubits for c in circuits}),
+            "layout_trials": sizes["batch_layout_trials"],
+            "total_trials": len(circuits) * sizes["batch_layout_trials"],
+        },
+        "sequential_serial_s": round(sequential_seconds, 4),
+        "trials_processes_s": round(trials_seconds, 4),
+        "circuits_processes_s": round(circuits_seconds, 4),
+        "speedup_circuits_vs_sequential": round(
+            sequential_seconds / circuits_seconds, 3
+        ),
+        "speedup_circuits_vs_trials": round(
+            trials_seconds / circuits_seconds, 3
+        ),
+        "dispatch": circuits_batch.dispatch,
+        "digest": hashlib.sha256("".join(reference).encode()).hexdigest(),
+        "identical_across_modes": True,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small budgets)")
+    parser.add_argument("--out", default="BENCH_batch_fanout.json",
+                        help="output JSON path")
+    args = parser.parse_args()
+    sizes = _sizes(args.smoke)
+    cores = os.cpu_count() or 1
+
+    coverage = get_coverage_set("sqrt_iswap", num_samples=700, seed=7)
+
+    trial = bench_trial_fanout(coverage, sizes)
+    print(f"[trial-fanout]  {trial['circuit']} budget {trial['budget']}: "
+          f"serial {trial['serial_s']:.2f}s, processes "
+          f"{trial['processes_s']:.2f}s ({trial['speedup']:.2f}x)")
+
+    batch = bench_batch_fanout(coverage, sizes)
+    workload = batch["workload"]
+    print(f"[batch-fanout]  {workload['circuits']} circuits x "
+          f"{workload['layout_trials']} trials "
+          f"({workload['total_trials']} pooled trials):")
+    print(f"  sequential+serial     {batch['sequential_serial_s']:8.2f} s")
+    print(f"  trial fan-out (proc)  {batch['trials_processes_s']:8.2f} s")
+    print(f"  circuit fan-out (proc){batch['circuits_processes_s']:8.2f} s "
+          f"({batch['speedup_circuits_vs_sequential']:.2f}x vs sequential, "
+          f"{batch['speedup_circuits_vs_trials']:.2f}x vs trial fan-out)")
+    print(f"  dispatch: {batch['dispatch']}")
+
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": cores,
+            "mode": "full" if FULL else ("smoke" if args.smoke else "default"),
+            "unix_time": int(time.time()),
+        },
+        "trial_fanout": trial,
+        "batch_fanout": batch,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    # The headline claim needs real cores to show; a single-core host can
+    # only validate determinism (which the digest asserts above did).
+    if cores >= 4 and not args.smoke:
+        assert batch["speedup_circuits_vs_sequential"] >= 2.0, (
+            "circuit-level fan-out should be >=2x on a multi-core host, got "
+            f"{batch['speedup_circuits_vs_sequential']}x on {cores} cores"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,13 @@ from repro.core.aggression import (
 )
 from repro.core.mirage_pass import MirageSwap
 from repro.core.pipeline import (
+    FinishRoutingPass,
     MirageRouterFactory,
+    PlanTrialsPass,
+    RoutingPass,
+    TrialPlan,
+    build_batch_back_pipeline,
+    build_batch_front_pipeline,
     build_mirage_pipeline,
     build_prepare_pipeline,
 )
@@ -31,6 +37,12 @@ __all__ = [
     "schedule_from_spec",
     "MirageSwap",
     "MirageRouterFactory",
+    "FinishRoutingPass",
+    "PlanTrialsPass",
+    "RoutingPass",
+    "TrialPlan",
+    "build_batch_back_pipeline",
+    "build_batch_front_pipeline",
     "build_mirage_pipeline",
     "build_prepare_pipeline",
     "BatchResult",

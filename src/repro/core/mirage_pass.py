@@ -19,6 +19,8 @@ layout — data moves without any inserted SWAP gate, which is exactly the
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.circuits.dag import DAGCircuit, DAGNode
 from repro.circuits.gates import UnitaryGate
 from repro.core.aggression import Aggression, accept_mirror
@@ -83,10 +85,9 @@ class MirageSwap(SabreSwap):
         decomposition_mirror = float(pair_costs[1]) / unit
 
         lookahead = self._extended_set([node], dag)
-        routing_current = self.routing_heuristic([], lookahead, layout)
-        trial_layout = layout.copy()
-        trial_layout.swap_physical(*physical)
-        routing_mirror = self.routing_heuristic([], lookahead, trial_layout)
+        routing_current, routing_mirror = self._mirror_routing_costs(
+            lookahead, layout, physical
+        )
 
         cost_current = (
             self.decomposition_weight * decomposition_current + routing_current
@@ -102,6 +103,63 @@ class MirageSwap(SabreSwap):
             layout.swap_physical(*physical)
         else:
             out.add_node(node.gate, physical)
+
+    def _mirror_routing_costs(
+        self,
+        lookahead: list[DAGNode],
+        layout: Layout,
+        physical: tuple[int, ...],
+    ) -> tuple[float, float]:
+        """Routing pressure of the current layout and of the mirrored one.
+
+        Historically this copied the layout, applied the virtual SWAP and
+        rescored the whole lookahead window; now only the lookahead gates
+        touching the two swapped physical qubits are re-evaluated as a
+        delta on the base sum.  Hop-count distances are integer-valued, so
+        the delta-adjusted sum is exactly the sum a full rescore would
+        produce and the returned floats are bit-identical to the
+        copy-and-rescore pair.
+        """
+        if not lookahead:
+            return 0.0, 0.0
+        distance = self.coupling.distance_matrix
+        pairs = [
+            (layout.v2p(node.qubits[0]), layout.v2p(node.qubits[1]))
+            for node in lookahead
+        ]
+        base = sum(distance[left, right] for left, right in pairs)
+        swap_a, swap_b = physical
+        if not np.isfinite(base):
+            # Infinite distances (disconnected coupling) poison the delta
+            # arithmetic with inf - inf; rescore against a swapped copy.
+            trial_layout = layout.copy()
+            trial_layout.swap_physical(swap_a, swap_b)
+            return (
+                self.routing_heuristic([], lookahead, layout),
+                self.routing_heuristic([], lookahead, trial_layout),
+            )
+        delta = 0.0
+        for left, right in pairs:
+            left_hit = left == swap_a or left == swap_b
+            right_hit = right == swap_a or right == swap_b
+            if not (left_hit or right_hit):
+                continue
+            if left_hit and right_hit:
+                continue  # both endpoints swap; distance unchanged
+            new_left = (
+                swap_b if left == swap_a else swap_a if left == swap_b else left
+            )
+            new_right = (
+                swap_b if right == swap_a
+                else swap_a if right == swap_b
+                else right
+            )
+            delta += distance[new_left, new_right] - distance[left, right]
+        count = len(pairs)
+        weight = self.extended_set_weight
+        current = float(0.0 + weight * base / count)
+        mirrored = float(0.0 + weight * (base + delta) / count)
+        return current, mirrored
 
     @staticmethod
     def _mirror_gate(

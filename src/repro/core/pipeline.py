@@ -33,8 +33,12 @@ from repro.transpiler.passes.cleanup import clean_input
 from repro.transpiler.passes.consolidate import consolidate_blocks
 from repro.transpiler.passes.sabre_layout import (
     DepthMetric,
+    LayoutResult,
     SabreLayout,
     SabreRouterFactory,
+    TrialRef,
+    TrialSpec,
+    select_best,
     swap_count_metric,
 )
 from repro.transpiler.passes.sabre_swap import SabreSwap
@@ -151,6 +155,21 @@ class VF2EmbeddingPass(BasePass):
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class TrialPlan:
+    """Planned-but-not-yet-run routing trials of one circuit.
+
+    Produced by :class:`PlanTrialsPass` (the front half of the batch
+    engine), consumed by :class:`FinishRoutingPass` once the pooled
+    dispatch has delivered this circuit's :class:`TrialOutcome`s.
+    """
+
+    spec: TrialSpec
+    refs: tuple[TrialRef, ...]
+    method: str
+    selection: str
+
+
 class RoutingPass(BasePass):
     """Multi-trial SABRE/MIRAGE routing with pluggable trial execution."""
 
@@ -182,7 +201,8 @@ class RoutingPass(BasePass):
     def should_run(self, state: PipelineState) -> bool:
         return not state.properties.get("routing_complete", False)
 
-    def run(self, state: PipelineState) -> None:
+    def build_driver(self, state: PipelineState) -> SabreLayout:
+        """Assemble the :class:`SabreLayout` driver for this circuit."""
         coupling: CouplingMap = state.properties.require("coupling_map")
         coverage: CoverageSet = state.properties.require("coverage")
         basis: str = state.properties.require("basis")
@@ -199,7 +219,7 @@ class RoutingPass(BasePass):
             if self.selection == "depth"
             else swap_count_metric
         )
-        driver = SabreLayout(
+        return SabreLayout(
             coupling,
             router_factory,
             layout_trials=self.layout_trials,
@@ -211,21 +231,82 @@ class RoutingPass(BasePass):
             executor=self.executor,
             max_workers=self.max_workers,
         )
+
+    def run(self, state: PipelineState) -> None:
+        driver = self.build_driver(state)
         best = driver.run(state.circuit.to_dag())
-        state.circuit = best.routing.to_circuit()
-        state.properties.update(
+        publish_routing(state, best, self.method, self.selection)
+
+
+def publish_routing(
+    state: PipelineState,
+    best: LayoutResult,
+    method: str,
+    selection: str,
+) -> None:
+    """Write a winning :class:`LayoutResult` into the property set.
+
+    Shared between the in-line :class:`RoutingPass` and the batch engine's
+    :class:`FinishRoutingPass`, so both fan-out modes leave byte-identical
+    state behind for the ``select`` stage.
+    """
+    state.circuit = best.routing.to_circuit()
+    state.properties.update(
+        method=method,
+        routing_dag=best.routing.dag,
+        initial_layout=best.routing.initial_layout,
+        final_layout=best.routing.final_layout,
+        swaps_added=best.routing.swaps_added,
+        mirrors_accepted=best.routing.mirrors_accepted,
+        mirror_candidates=best.routing.mirror_candidates,
+        selection_metric=selection,
+        trial_index=best.trial_index,
+        trial_scores=best.trial_scores,
+        trial_seconds=best.trial_seconds,
+        routing_complete=True,
+    )
+
+
+class PlanTrialsPass(RoutingPass):
+    """Front half of the batch engine: plan trials without running them.
+
+    Builds exactly the driver — and from it exactly the spec/ref pairs —
+    that :class:`RoutingPass` would have dispatched, then parks them in
+    the property set as a :class:`TrialPlan` so the batch scheduler can
+    pool every circuit's trials into one shared dispatch.
+    """
+
+    name = "plan"
+
+    def run(self, state: PipelineState) -> None:
+        driver = self.build_driver(state)
+        state.properties["trial_plan"] = TrialPlan(
+            spec=driver.trial_spec(state.circuit.to_dag()),
+            refs=tuple(driver.trial_refs()),
             method=self.method,
-            routing_dag=best.routing.dag,
-            initial_layout=best.routing.initial_layout,
-            final_layout=best.routing.final_layout,
-            swaps_added=best.routing.swaps_added,
-            mirrors_accepted=best.routing.mirrors_accepted,
-            mirror_candidates=best.routing.mirror_candidates,
-            selection_metric=self.selection,
-            trial_index=best.trial_index,
-            trial_scores=best.trial_scores,
-            routing_complete=True,
+            selection=self.selection,
         )
+
+
+class FinishRoutingPass(BasePass):
+    """Back half of the batch engine: select among delivered outcomes.
+
+    Expects ``trial_outcomes`` (this circuit's :class:`TrialOutcome` list,
+    in trial order) in the property set, applies the same
+    lowest-score/lowest-index selection as :class:`RoutingPass`, and
+    publishes the identical property keys.
+    """
+
+    name = "route"
+
+    def should_run(self, state: PipelineState) -> bool:
+        return not state.properties.get("routing_complete", False)
+
+    def run(self, state: PipelineState) -> None:
+        plan: TrialPlan = state.properties.require("trial_plan")
+        outcomes = state.properties.require("trial_outcomes")
+        best = select_best(outcomes, plan.selection)
+        publish_routing(state, best, plan.method, plan.selection)
 
 
 class SelectResultPass(BasePass):
@@ -262,6 +343,7 @@ class SelectResultPass(BasePass):
             selection_metric=props.get("selection_metric", "none"),
             trial_index=props.get("trial_index", -1),
             input_metrics=props.get("input_metrics"),
+            trial_seconds=props.get("trial_seconds"),
         )
 
 
@@ -343,5 +425,69 @@ def build_mirage_pipeline(
             max_workers=max_workers,
         )
     )
+    manager.append(SelectResultPass())
+    return manager
+
+
+def build_batch_front_pipeline(
+    coupling: CouplingMap | str,
+    *,
+    basis: str = "sqrt_iswap",
+    method: str = "mirage",
+    selection: str = "depth",
+    aggression=None,
+    layout_trials: int = 4,
+    refinement_rounds: int = 2,
+    routing_trials: int = 1,
+    coverage: CoverageSet | None = None,
+    use_vf2: bool = True,
+    consolidate: bool = True,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = 11,
+) -> PassManager:
+    """Front half of the circuit-level batch engine: everything up to —
+    but excluding — trial execution.
+
+    Identical to :func:`build_mirage_pipeline` through the ``vf2`` stage,
+    then a ``plan`` stage (:class:`PlanTrialsPass`) that parks the trial
+    spec/refs in the property set instead of dispatching them.  The batch
+    scheduler pools the plans of every circuit into one shared dispatch
+    and resumes each circuit with :func:`build_batch_back_pipeline`.
+
+    The trial spec/refs a plan carries are exactly the ones the in-line
+    ``route`` stage would have dispatched for the same arguments, which is
+    what makes the two fan-out modes byte-identical.
+    """
+    method, selection = validate_flow(method, selection)
+
+    manager = build_prepare_pipeline(consolidate=consolidate)
+    manager.append(ResolveCouplingPass(coupling))
+    manager.append(AttachCoveragePass(basis, coverage))
+    manager.append(AnalyzeInputPass())
+    manager.append(VF2EmbeddingPass(use_vf2))
+    manager.append(
+        PlanTrialsPass(
+            method=method,
+            selection=selection,
+            aggression=aggression,
+            layout_trials=layout_trials,
+            refinement_rounds=refinement_rounds,
+            routing_trials=routing_trials,
+            seed=seed,
+        )
+    )
+    return manager
+
+
+def build_batch_back_pipeline() -> PassManager:
+    """Back half of the circuit-level batch engine: route + select.
+
+    Resumed (via :meth:`~repro.transpiler.passmanager.PassManager.execute_state`)
+    on each front state once the pooled dispatch has placed that circuit's
+    ``trial_outcomes`` in its property set.  The ``route`` stage here and
+    the in-line ``route`` stage of :func:`build_mirage_pipeline` publish
+    identical properties, so ``select`` cannot tell the modes apart.
+    """
+    manager = PassManager()
+    manager.append(FinishRoutingPass())
     manager.append(SelectResultPass())
     return manager

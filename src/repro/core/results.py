@@ -3,7 +3,8 @@
 :class:`TranspileResult` describes one transpiled circuit, including the
 per-stage timing report of the pipeline that produced it;
 :class:`BatchResult` aggregates the results of one
-:func:`repro.core.transpile.transpile_many` call.
+:func:`repro.core.transpile.transpile_many` call, plus the provenance of
+how the batch was scheduled (fan-out mode, executor, dispatch counters).
 """
 
 from __future__ import annotations
@@ -20,25 +21,52 @@ from repro.transpiler.metrics import CircuitMetrics
 class TranspileResult:
     """Everything produced by one transpilation run.
 
-    Attributes:
-        circuit: the routed circuit on physical qubits.
-        metrics: depth / cost / SWAP metrics of the routed circuit.
-        method: ``"mirage"``, ``"sabre"`` or ``"vf2"`` (SWAP-free embedding).
-        basis: basis gate the cost metrics are expressed in.
-        initial_layout: virtual-to-physical layout at circuit start.
-        final_layout: layout after the last gate (differs when SWAPs or
-            mirror gates moved data).
-        swaps_added: SWAP gates inserted by routing.
-        mirrors_accepted: mirror substitutions performed (MIRAGE only).
-        mirror_candidates: two-qubit gates that reached the intermediate layer.
-        runtime_seconds: wall-clock transpilation time.
-        selection_metric: post-selection metric used across trials.
-        trial_index: index of the winning routing trial.
-        input_metrics: metrics of the cleaned, consolidated input circuit
-            (before routing) for improvement reporting.
-        pipeline_report: per-stage timing records (name, seconds, gate
-            counts, skipped flag) of the pipeline run that produced this
-            result.
+    Attributes
+    ----------
+    circuit : QuantumCircuit
+        The routed circuit on physical qubits.
+    metrics : CircuitMetrics
+        Depth / cost / SWAP metrics of the routed circuit.
+    method : str
+        ``"mirage"``, ``"sabre"`` or ``"vf2"`` (SWAP-free embedding).
+    basis : str
+        Basis gate the cost metrics are expressed in.
+    initial_layout : Layout
+        Virtual-to-physical layout at circuit start.
+    final_layout : Layout
+        Layout after the last gate (differs when SWAPs or mirror gates
+        moved data).
+    swaps_added : int
+        SWAP gates inserted by routing.
+    mirrors_accepted : int
+        Mirror substitutions performed (MIRAGE only).
+    mirror_candidates : int
+        Two-qubit gates that reached the intermediate layer.
+    runtime_seconds : float
+        Transpilation time of this circuit.  Under ``fanout="trials"``
+        this is elapsed wall clock (parallel trials overlap); under
+        ``fanout="circuits"`` it is the per-circuit serial work plus
+        this circuit's summed *worker* trial time, which a parallel
+        executor overlaps across circuits.  Compare timings across
+        fan-out modes at the batch level (``BatchResult.runtime_seconds``),
+        not through this field.
+    selection_metric : str
+        Post-selection metric used across trials.
+    trial_index : int
+        Index of the winning routing trial (``-1`` if routing was skipped).
+    input_metrics : CircuitMetrics or None
+        Metrics of the cleaned, consolidated input circuit (before
+        routing) for improvement reporting.
+    pipeline_report : list of dict or None
+        Per-stage timing records (name, seconds, gate counts, skipped
+        flag) of the pipeline run that produced this result.  Batch
+        fan-out runs show a ``plan`` stage (trial planning) in place of
+        in-line routing time; the ``route`` record then holds selection
+        only, with the trial time reported in ``trial_seconds``.
+    trial_seconds : float or None
+        Summed wall-clock seconds spent inside this circuit's routing
+        trials (worker time).  ``None`` when routing was skipped (VF2
+        embedding) or for results predating this field.
     """
 
     circuit: QuantumCircuit
@@ -55,9 +83,16 @@ class TranspileResult:
     trial_index: int
     input_metrics: CircuitMetrics | None = None
     pipeline_report: list[dict] | None = None
+    trial_seconds: float | None = None
 
     def stage_seconds(self) -> dict[str, float]:
-        """Wall-clock seconds per pipeline stage (empty if no report)."""
+        """Wall-clock seconds per pipeline stage.
+
+        Returns
+        -------
+        dict of str to float
+            Stage name to summed seconds; empty if no report is attached.
+        """
         seconds: dict[str, float] = {}
         for record in self.pipeline_report or []:
             seconds[record["name"]] = (
@@ -67,6 +102,7 @@ class TranspileResult:
 
     @property
     def mirror_acceptance_rate(self) -> float:
+        """Fraction of intermediate-layer candidates accepted as mirrors."""
         if self.mirror_candidates == 0:
             return 0.0
         return self.mirrors_accepted / self.mirror_candidates
@@ -91,17 +127,34 @@ class TranspileResult:
 class BatchResult:
     """Results of one :func:`repro.core.transpile.transpile_many` call.
 
-    Attributes:
-        results: one :class:`TranspileResult` per input circuit, in input
-            order.
-        runtime_seconds: wall-clock time of the whole batch.
-        executor: name of the trial executor used (``"serial"``,
-            ``"threads"``, ``"processes"``, ...).
+    Attributes
+    ----------
+    results : list of TranspileResult
+        One result per input circuit, in input order — regardless of the
+        fan-out mode or executor that produced them.
+    runtime_seconds : float
+        Wall-clock time of the whole batch.
+    executor : str
+        Name of the trial executor used (``"serial"``, ``"threads"``,
+        ``"processes"``, ...).
+    fanout : str
+        Scheduling mode that ran the batch — ``"trials"`` (circuits
+        walked sequentially, parallelism inside each circuit's trial
+        fan-out) or ``"circuits"`` (every circuit's trials pooled into
+        one shared dispatch).  Fixed-seed outputs are byte-identical
+        across modes; only the timing profile differs.
+    dispatch : dict or None
+        Provenance counters of the shared dispatch (``shared_pickles``,
+        ``chunks``, ``tasks``) accumulated on the executor during this
+        batch, plus ``circuits`` and ``routed`` counts.  ``None`` when
+        unavailable (e.g. results predating this field).
     """
 
     results: list[TranspileResult]
     runtime_seconds: float
     executor: str
+    fanout: str = "trials"
+    dispatch: dict | None = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -113,18 +166,35 @@ class BatchResult:
         return self.results[index]
 
     def stage_seconds(self) -> dict[str, float]:
-        """Per-stage wall-clock seconds summed across the batch."""
+        """Per-stage wall-clock seconds summed across the batch.
+
+        Returns
+        -------
+        dict of str to float
+            Stage name to summed seconds across all circuits.  Under
+            parallel executors the sum can exceed ``runtime_seconds``
+            (worker time vs. elapsed time).
+        """
         seconds: dict[str, float] = {}
         for result in self.results:
             for name, value in result.stage_seconds().items():
                 seconds[name] = seconds.get(name, 0.0) + value
         return seconds
 
+    def circuit_seconds(self) -> list[float]:
+        """Per-circuit ``runtime_seconds``, in input order."""
+        return [result.runtime_seconds for result in self.results]
+
+    def trial_seconds(self) -> float:
+        """Summed routing-trial worker seconds across the batch."""
+        return sum(result.trial_seconds or 0.0 for result in self.results)
+
     def summary(self) -> dict[str, float | int | str]:
         """Flat summary row of the whole batch."""
         return {
             "circuits": len(self.results),
             "executor": self.executor,
+            "fanout": self.fanout,
             "total_swaps": sum(r.swaps_added for r in self.results),
             "total_mirrors": sum(r.mirrors_accepted for r in self.results),
             "mean_depth": round(

@@ -25,13 +25,17 @@ serially, on a thread pool or on a process pool.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.exceptions import TranspilerError
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.pipeline import (
+    build_batch_back_pipeline,
+    build_batch_front_pipeline,
     build_mirage_pipeline,
     build_prepare_pipeline,
     validate_flow,
@@ -39,8 +43,21 @@ from repro.core.pipeline import (
 from repro.core.results import BatchResult, TranspileResult
 from repro.polytopes.coverage import CoverageSet, get_coverage_set
 from repro.transpiler.executors import TrialExecutor, executor_scope
-from repro.transpiler.passes import seed_sequence
+from repro.transpiler.passes import (
+    BatchTrialRef,
+    run_batch_trial,
+    seed_sequence,
+)
+from repro.transpiler.passmanager import PipelineState
 from repro.transpiler.topologies import CouplingMap
+
+#: Fan-out modes accepted by :func:`transpile_many` (aliases included).
+FANOUT_MODES = {
+    "auto": "auto",
+    "trials": "trials",
+    "sequential": "trials",
+    "circuits": "circuits",
+}
 
 
 def prepare_circuit(
@@ -69,42 +86,61 @@ def transpile(
 ) -> TranspileResult:
     """Transpile ``circuit`` onto ``coupling`` for a given basis gate.
 
-    Args:
-        circuit: input circuit (any mix of 1Q/2Q/3Q gates and directives).
-        coupling: a :class:`CouplingMap` or a topology name
-            (``"line"``, ``"square"``, ``"heavy_hex"``, ``"a2a"``, ...).
-        basis: target basis gate; decomposition costs are expressed in its
-            pulse units (``sqrt_iswap`` is the paper's main target).
-        method: ``"mirage"`` (mirror-gate routing) or ``"sabre"`` (baseline).
-        selection: post-selection metric across routing trials — ``"depth"``
-            (decomposition-aware critical path, MIRAGE's default) or
-            ``"swaps"`` (stock SABRE).
-        aggression: MIRAGE aggression specification — ``None``/``"mixed"``
-            for the paper's 5/45/45/5 distribution, an integer 0-3 for a
-            fixed level, or an explicit per-trial sequence.
-        layout_trials: independent random initial layouts.
-        refinement_rounds: forward/backward SABRE refinement rounds.
-        routing_trials: final routings per refined layout.
-        coverage: preconstructed coverage set (otherwise the shared set for
-            ``basis`` is used).
-        use_vf2: look for a SWAP-free embedding before routing.
-        seed: RNG seed — an int, a ``numpy.random.SeedSequence`` or a
-            ``numpy.random.Generator`` (``None`` for nondeterministic).
-            Each layout trial gets its own spawned stream, so results are
-            executor-independent.  Ints and ``SeedSequence``s are
-            reproducible across calls; a ``Generator`` is consumed (one
-            draw of entropy), so reusing it gives fresh randomness.
-        executor: trial execution strategy — ``None``/``"serial"``,
-            ``"threads"``, ``"processes"`` or a :class:`TrialExecutor`
-            instance (borrowed instances are left open for reuse).
-        max_workers: worker count for executors created from a string spec.
+    Parameters
+    ----------
+    circuit : QuantumCircuit
+        Input circuit (any mix of 1Q/2Q/3Q gates and directives).
+    coupling : CouplingMap or str
+        A :class:`CouplingMap` or a topology name (``"line"``,
+        ``"square"``, ``"heavy_hex"``, ``"a2a"``, ...).
+    basis : str
+        Target basis gate; decomposition costs are expressed in its
+        pulse units (``sqrt_iswap`` is the paper's main target).
+    method : {"mirage", "sabre"}
+        Mirror-gate routing, or the stock SABRE baseline.
+    selection : {"depth", "swaps"}
+        Post-selection metric across routing trials — decomposition-aware
+        critical path (MIRAGE's default) or SWAP count (stock SABRE).
+    aggression : int, str, sequence of int, or None
+        MIRAGE aggression specification — ``None``/``"mixed"`` for the
+        paper's 5/45/45/5 distribution, an integer 0-3 for a fixed
+        level, or an explicit per-trial sequence.
+    layout_trials : int
+        Independent random initial layouts.
+    refinement_rounds : int
+        Forward/backward SABRE refinement rounds.
+    routing_trials : int
+        Final routings per refined layout.
+    coverage : CoverageSet, optional
+        Preconstructed coverage set (otherwise the shared set for
+        ``basis`` is used — built once per process and persisted under
+        ``$MIRAGE_CACHE_DIR`` unless ``MIRAGE_CACHE_DISABLE=1``).
+    use_vf2 : bool
+        Look for a SWAP-free embedding before routing.
+    seed : int, numpy.random.SeedSequence, numpy.random.Generator, or None
+        RNG seed (``None`` for nondeterministic).  Each layout trial
+        gets its own spawned ``SeedSequence`` stream, so fixed-seed
+        results are byte-identical on every executor and worker count.
+        Ints and ``SeedSequence``s are reproducible across calls; a
+        ``Generator`` is consumed (one draw of entropy), so reusing it
+        gives fresh randomness.
+    executor : str, TrialExecutor, or None
+        Trial execution strategy — ``None``/``"serial"``, ``"threads"``,
+        ``"processes"`` or a :class:`TrialExecutor` instance (borrowed
+        instances are left open for reuse).
+    max_workers : int, optional
+        Worker count for executors created from a string spec.
 
-    Returns:
-        A :class:`TranspileResult` with ``pipeline_report`` carrying the
-        per-stage timings.
+    Returns
+    -------
+    TranspileResult
+        The routed circuit and its metrics, with ``pipeline_report``
+        carrying the per-stage timings.
 
-    Raises:
-        TranspilerError: if the device is too small or the method is unknown.
+    Raises
+    ------
+    TranspilerError
+        If the device is too small or the method is unknown.
     """
     start = time.perf_counter()
     with executor_scope(executor, max_workers) as trial_executor:
@@ -129,6 +165,149 @@ def transpile(
     return result
 
 
+def _resolve_fanout(fanout: str, batch_size: int) -> str:
+    """Normalise a fan-out specification to ``"trials"`` or ``"circuits"``.
+
+    ``"auto"`` picks circuit-level fan-out whenever the batch holds more
+    than one circuit — the modes are byte-identical for a fixed seed, so
+    the choice only affects the wall-clock profile.
+    """
+    try:
+        mode = FANOUT_MODES[fanout.lower()]
+    except (KeyError, AttributeError):
+        known = ", ".join(sorted(set(FANOUT_MODES)))
+        raise TranspilerError(
+            f"unknown fanout mode {fanout!r} (known: {known})"
+        ) from None
+    if mode == "auto":
+        return "circuits" if batch_size > 1 else "trials"
+    return mode
+
+
+def _dispatch_provenance(
+    trial_executor: TrialExecutor,
+    stats_before: dict[str, int],
+    circuits: int,
+    routed: int,
+) -> dict:
+    """Delta of the executor's dispatch counters over one batch."""
+    provenance = {
+        key: trial_executor.dispatch_stats[key] - stats_before.get(key, 0)
+        for key in trial_executor.dispatch_stats
+    }
+    provenance["circuits"] = circuits
+    provenance["routed"] = routed
+    return provenance
+
+
+def _finish_batch_state(
+    state: PipelineState, front_seconds: float
+) -> TranspileResult:
+    """Resume a planned circuit through route + select and fill timings."""
+    resume_start = time.perf_counter()
+    build_batch_back_pipeline().execute_state(state)
+    result: TranspileResult = state.properties.require("result")
+    result.pipeline_report = [
+        dataclasses.asdict(record) for record in state.records
+    ]
+    result.runtime_seconds = (
+        front_seconds
+        + (time.perf_counter() - resume_start)
+        + (result.trial_seconds or 0.0)
+    )
+    return result
+
+
+def _run_circuit_fanout(
+    batch: list[QuantumCircuit],
+    coupling: CouplingMap | str,
+    *,
+    basis: str,
+    method: str,
+    selection: str,
+    aggression,
+    layout_trials: int,
+    refinement_rounds: int,
+    routing_trials: int,
+    coverage: CoverageSet,
+    use_vf2: bool,
+    circuit_seeds: Sequence[np.random.SeedSequence],
+    trial_executor: TrialExecutor,
+) -> tuple[list[TranspileResult], dict]:
+    """Two-level scheduler: plan every circuit, pool all trials, finish.
+
+    Phase A runs each circuit's front pipeline (clean → … → vf2 → plan),
+    phase B pools every planned trial into **one** shared dispatch on the
+    executor — the coverage set and all circuit DAGs ship to workers once
+    per chunk — and phase C resumes each circuit's pipeline to select its
+    winner.  Per-circuit seeds and per-trial streams are spawned exactly
+    as the sequential mode spawns them, so fixed-seed outputs are
+    byte-identical across modes and executors.
+    """
+    stats_before = dict(trial_executor.dispatch_stats)
+
+    states: list[PipelineState] = []
+    front_seconds: list[float] = []
+    for circuit, circuit_seed in zip(batch, circuit_seeds):
+        front_start = time.perf_counter()
+        front = build_batch_front_pipeline(
+            coupling,
+            basis=basis,
+            method=method,
+            selection=selection,
+            aggression=aggression,
+            layout_trials=layout_trials,
+            refinement_rounds=refinement_rounds,
+            routing_trials=routing_trials,
+            coverage=coverage,
+            use_vf2=use_vf2,
+            seed=circuit_seed,
+        )
+        states.append(front.execute(circuit))
+        front_seconds.append(time.perf_counter() - front_start)
+
+    # Pool the trials of every still-unrouted circuit.  Specs are indexed
+    # by *pool* position (VF2-embedded circuits contribute none); pickle's
+    # memo table dedups the coverage set shared between the specs.
+    specs = []
+    pooled_refs: list[BatchTrialRef] = []
+    refs_per_state: list[int] = []
+    for state in states:
+        plan = state.properties.get("trial_plan")
+        if plan is None:
+            refs_per_state.append(0)
+            continue
+        spec_position = len(specs)
+        specs.append(plan.spec)
+        pooled_refs.extend(
+            BatchTrialRef(circuit_index=spec_position, ref=ref)
+            for ref in plan.refs
+        )
+        refs_per_state.append(len(plan.refs))
+
+    outcomes = (
+        trial_executor.map_shared(run_batch_trial, tuple(specs), pooled_refs)
+        if pooled_refs
+        else []
+    )
+
+    results: list[TranspileResult] = []
+    cursor = 0
+    for state, spent, count in zip(states, front_seconds, refs_per_state):
+        if count:
+            state.properties["trial_outcomes"] = outcomes[cursor:cursor + count]
+            cursor += count
+        results.append(_finish_batch_state(state, spent))
+
+    dispatch = _dispatch_provenance(
+        trial_executor,
+        stats_before,
+        circuits=len(batch),
+        routed=sum(1 for count in refs_per_state if count),
+    )
+    return results, dispatch
+
+
 def transpile_many(
     circuits: Iterable[QuantumCircuit],
     coupling: CouplingMap | str,
@@ -145,40 +324,90 @@ def transpile_many(
     seed: int | np.random.SeedSequence | np.random.Generator | None = 11,
     executor: str | TrialExecutor | None = None,
     max_workers: int | None = None,
+    fanout: str = "auto",
 ) -> BatchResult:
     """Transpile a batch of circuits sharing one coverage set and executor.
 
-    The coverage set for ``basis`` is constructed (or taken from
-    ``coverage``) once, and a single :class:`TrialExecutor` — including its
-    worker pool, when parallel — is reused across all circuits, so batch
-    callers pay pool start-up costs once.  Per-circuit seeds are spawned
-    from ``seed`` via ``numpy.random.SeedSequence`` by batch position:
-    for a fixed circuit list and seed the batch is fully reproducible and
-    independent of executor choice, but reordering, inserting or removing
-    circuits reseeds the affected positions (and a batch of one does not
-    reproduce a bare :func:`transpile` call with the same integer seed).
+    The batch engine is a two-level scheduler.  The coverage set for
+    ``basis`` is constructed (or taken from ``coverage``) once and a
+    single :class:`~repro.transpiler.executors.TrialExecutor` — including
+    its worker pool, when parallel — is reused across all circuits.  How
+    work reaches that executor depends on ``fanout``:
 
-    Args:
-        circuits: the circuits to transpile.
-        (remaining arguments exactly as :func:`transpile`.)
+    * ``"trials"`` (a.k.a. ``"sequential"``) — circuits are walked one
+      after another; parallelism lives inside each circuit's routing-trial
+      fan-out.  Best when individual circuits are large.
+    * ``"circuits"`` — every circuit is *planned* first (clean → … → vf2),
+      then all planned routing trials are pooled into one shared chunked
+      dispatch, and each circuit's winner is selected afterwards.  Best
+      for many-small-circuit workloads: workers stay busy across circuit
+      boundaries and the coverage set plus the per-circuit DAGs ship to
+      process workers once per chunk instead of once per trial.
+    * ``"auto"`` (default) — ``"circuits"`` when the batch holds more than
+      one circuit, else ``"trials"``.
 
-    Returns:
-        A :class:`BatchResult` holding one :class:`TranspileResult` per
-        circuit (in input order) plus aggregate per-stage timings.
+    Parameters
+    ----------
+    circuits : iterable of QuantumCircuit
+        The circuits to transpile.
+    fanout : {"auto", "trials", "sequential", "circuits"}
+        Batch scheduling mode, see above.
+    **others
+        Exactly as :func:`transpile`.
+
+    Returns
+    -------
+    BatchResult
+        One :class:`TranspileResult` per circuit (in input order) plus
+        aggregate per-stage timings and dispatch provenance.
+
+    Notes
+    -----
+    *Determinism.*  Per-circuit seeds are spawned from ``seed`` via
+    ``numpy.random.SeedSequence`` by batch position, and per-trial streams
+    from each circuit seed — the identical spawn tree in every fan-out
+    mode and on every executor.  For a fixed circuit list and seed the
+    batch is therefore byte-identical across ``fanout`` and ``executor``
+    choices; but reordering, inserting or removing circuits reseeds the
+    affected positions, and a batch of one does not reproduce a bare
+    :func:`transpile` call with the same integer seed.
+
+    *Caches.*  The coverage set's memoised cost table stays in the parent
+    process; workers rebuild theirs lazily per chunk payload (the table is
+    deliberately dropped from pickles — see
+    :meth:`~repro.polytopes.coverage.CoverageSet.__getstate__`).
     """
     start = time.perf_counter()
     batch = list(circuits)
     # Fail fast on typos — even for an empty batch, and before paying for
     # the coverage-set build.
     method, selection = validate_flow(method, selection)
-    results: list[TranspileResult] = []
+    mode = _resolve_fanout(fanout, len(batch))
+    dispatch: dict | None = None
     with executor_scope(executor, max_workers) as trial_executor:
         shared_coverage = (
             coverage if coverage is not None else get_coverage_set(basis)
         )
         circuit_seeds = seed_sequence(seed).spawn(len(batch)) if batch else []
-        for circuit, circuit_seed in zip(batch, circuit_seeds):
-            results.append(
+        if mode == "circuits" and batch:
+            results, dispatch = _run_circuit_fanout(
+                batch,
+                coupling,
+                basis=basis,
+                method=method,
+                selection=selection,
+                aggression=aggression,
+                layout_trials=layout_trials,
+                refinement_rounds=refinement_rounds,
+                routing_trials=routing_trials,
+                coverage=shared_coverage,
+                use_vf2=use_vf2,
+                circuit_seeds=circuit_seeds,
+                trial_executor=trial_executor,
+            )
+        else:
+            stats_before = dict(trial_executor.dispatch_stats)
+            results = [
                 transpile(
                     circuit,
                     coupling,
@@ -194,12 +423,21 @@ def transpile_many(
                     seed=circuit_seed,
                     executor=trial_executor,
                 )
+                for circuit, circuit_seed in zip(batch, circuit_seeds)
+            ]
+            dispatch = _dispatch_provenance(
+                trial_executor,
+                stats_before,
+                circuits=len(batch),
+                routed=sum(1 for result in results if result.trial_index >= 0),
             )
         executor_name = trial_executor.name
     return BatchResult(
         results=results,
         runtime_seconds=time.perf_counter() - start,
         executor=executor_name,
+        fanout=mode,
+        dispatch=dispatch,
     )
 
 

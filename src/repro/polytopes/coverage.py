@@ -404,7 +404,16 @@ class CoverageSet:
         raise CoverageError(f"no polytope of depth {depth} in coverage set")
 
     def cost_of(self, coordinate: Iterable[float]) -> float:
-        """Minimum decomposition cost of a canonical coordinate."""
+        """Minimum decomposition cost of one canonical coordinate.
+
+        The scalar form of :meth:`cost_of_many`: a length-3 canonical
+        Weyl coordinate in, a float cost (in pulse units of ``basis``)
+        out.  Results are memoised in a thread-safe table keyed by the
+        coordinate rounded to 6 decimals; the table is shared with the
+        batched queries and deliberately excluded from pickles
+        (:meth:`__getstate__`), so process-pool workers rebuild theirs
+        lazily.
+        """
         point = tuple(float(x) for x in coordinate)
         key = (round(point[0], 6), round(point[1], 6), round(point[2], 6))
         with self._cache_lock:
@@ -429,20 +438,33 @@ class CoverageSet:
         return self.max_cost
 
     def cost_of_many(self, coordinates: np.ndarray) -> np.ndarray:
-        """Minimum decomposition costs of an ``(n, 3)`` coordinate batch.
+        """Minimum decomposition costs of a coordinate batch.
 
+        Parameters
+        ----------
+        coordinates : array_like, shape (n, 3)
+            Canonical Weyl coordinates (a sequence of triples is
+            accepted and treated as one batch; an empty input yields an
+            empty result).
+
+        Returns
+        -------
+        numpy.ndarray, shape (n,)
+            Cost per row, in pulse units of ``basis``.
+
+        Notes
+        -----
         Element-wise identical to calling :meth:`cost_of` in a loop —
-        including consultation and population of the memoised cost table —
-        but the uncached coordinates are resolved by winnowing: each
-        polytope (cheapest first) classifies the still-unresolved rows with
-        one stacked half-space product, and resolved rows drop out of the
-        next round.
-
-        Args:
-            coordinates: ``(n, 3)`` array (or sequence of triples).
-
-        Returns:
-            ``(n,)`` float array of costs.
+        including consultation and population of the memoised cost table
+        — but the uncached coordinates are resolved by winnowing: each
+        polytope (cheapest first) classifies the still-unresolved rows
+        with one stacked half-space product, and resolved rows drop out
+        of the next round (~10x the scalar loop at routing-sized
+        batches).  Rows sharing a rounded key with an earlier miss reuse
+        that row's result, exactly as the sequential loop would via the
+        memo, so results are deterministic and order-independent.  The
+        memo table itself never travels across process boundaries (see
+        :meth:`cost_of`).
         """
         coords = np.asarray(coordinates, dtype=float)
         if coords.size == 0:
@@ -499,7 +521,20 @@ class CoverageSet:
         return int(round(cost / self.unit_cost))
 
     def depth_of_many(self, coordinates: np.ndarray) -> np.ndarray:
-        """Minimum basis applications per coordinate, as an int array."""
+        """Minimum basis-gate applications per coordinate.
+
+        Parameters
+        ----------
+        coordinates : array_like, shape (n, 3)
+            Canonical Weyl coordinates.
+
+        Returns
+        -------
+        numpy.ndarray of int, shape (n,)
+            ``round(cost / unit_cost)`` per row — the ``k`` of the
+            paper's depth-``k`` circuit polytopes.  Shares the memo table
+            and determinism guarantees of :meth:`cost_of_many`.
+        """
         costs = self.cost_of_many(coordinates)
         return np.rint(costs / self.unit_cost).astype(int)
 
@@ -508,7 +543,22 @@ class CoverageSet:
         return self.cost_of(mirror_coordinate(tuple(coordinate)))
 
     def mirror_cost_of_many(self, coordinates: np.ndarray) -> np.ndarray:
-        """Costs of the mirror classes of an ``(n, 3)`` coordinate batch."""
+        """Decomposition costs of the mirror classes of a batch.
+
+        Parameters
+        ----------
+        coordinates : array_like, shape (n, 3)
+            Canonical Weyl coordinates of the *original* gates.
+
+        Returns
+        -------
+        numpy.ndarray, shape (n,)
+            Cost of each gate's mirror (gate followed by SWAP), in pulse
+            units of ``basis``.  The mirrored coordinates are
+            canonicalised as one numpy batch and resolved through
+            :meth:`cost_of_many`, so the same memo table and determinism
+            guarantees apply.
+        """
         return self.cost_of_many(mirror_coordinates_many(coordinates))
 
     def cheaper_polytopes(self, cost: float) -> list[CircuitPolytope]:

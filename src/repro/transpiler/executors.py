@@ -21,26 +21,109 @@ pool lazily on first use and can be reused across circuits (the batch
 API :func:`repro.core.transpile.transpile_many` shares one executor for
 the whole batch); call :meth:`TrialExecutor.close` or use the executor
 as a context manager to release workers.
+
+Shared-payload dispatch
+-----------------------
+
+Routing trials share almost all of their input: the circuit DAGs, the
+coupling map and — heaviest of all — the coverage set are identical for
+every trial, only the ``(trial_index, seed)`` pair differs.  Mapping
+``fn(task)`` with the shared state baked into each task forces the
+process pool to re-pickle that state once per task (or, with
+``chunksize``, once per chunk).  :meth:`TrialExecutor.map_shared`
+separates the two:
+
+* the *shared* payload is pickled **once per call** in the parent and the
+  same byte blob is attached to every chunk;
+* workers memoise deserialisation by blob digest, so each worker process
+  unpickles a given payload at most once no matter how many chunks it
+  pulls;
+* the light per-task records are dispatched as many small chunks through
+  a work-stealing-style future queue — idle workers pull the next chunk
+  instead of being handed a fixed static share — while results are
+  reassembled in input order, keeping deterministic seeding schemes
+  executor-independent.
+
+Each executor records how much serialisation the last calls cost in
+:attr:`TrialExecutor.dispatch_stats` (``shared_pickles``, ``chunks``,
+``tasks``), which the batch engine surfaces as provenance and the test
+suite uses as a re-pickling regression check.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import contextlib
+import functools
+import hashlib
 import math
 import os
+import pickle
+from collections import OrderedDict
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.exceptions import TranspilerError
 
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
+_Shared = TypeVar("_Shared")
+
+#: How many chunks each worker should get on average from
+#: :meth:`TrialExecutor.map_shared`.  More chunks per worker improves load
+#: balancing when trial durations vary (the work-stealing effect); fewer
+#: chunks amortise the per-chunk payload shipping better.
+CHUNKS_PER_WORKER = 4
+
+#: Worker-side cap on memoised shared payloads (LRU).  Small: payloads are
+#: keyed by content digest, and a batch run only ever has a handful live.
+_SHARED_CACHE_LIMIT = 8
+
+_shared_cache: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _load_shared(digest: str, blob: bytes) -> object:
+    """Deserialise a shared payload, memoised by content digest.
+
+    Runs inside worker processes.  The blob bytes still travel with every
+    chunk (``ProcessPoolExecutor`` gives no control over worker affinity),
+    but the expensive ``pickle.loads`` — rebuilding coverage-set polytopes,
+    DAG nodes, numpy arrays — happens at most once per worker per payload.
+    """
+    try:
+        shared = _shared_cache.pop(digest)
+    except KeyError:
+        shared = pickle.loads(blob)
+    _shared_cache[digest] = shared
+    while len(_shared_cache) > _SHARED_CACHE_LIMIT:
+        _shared_cache.popitem(last=False)
+    return shared
+
+
+def _run_shared_chunk(
+    digest: str,
+    blob: bytes,
+    fn: Callable[[object, object], object],
+    tasks: Sequence[object],
+) -> list[object]:
+    """Evaluate one chunk of light tasks against the memoised payload."""
+    shared = _load_shared(digest, blob)
+    return [fn(shared, task) for task in tasks]
+
+
+def _chunk(tasks: Sequence[_Task], size: int) -> Iterator[Sequence[_Task]]:
+    for start in range(0, len(tasks), size):
+        yield tasks[start:start + size]
 
 
 class TrialExecutor:
     """Strategy object evaluating a function over a batch of trial tasks."""
 
     name: str = "executor"
+
+    def __init__(self) -> None:
+        self.dispatch_stats: dict[str, int] = {
+            "shared_pickles": 0, "chunks": 0, "tasks": 0,
+        }
 
     def map(
         self,
@@ -49,6 +132,31 @@ class TrialExecutor:
     ) -> list[_Result]:
         """Apply ``fn`` to every task, returning results in input order."""
         raise NotImplementedError
+
+    def map_shared(
+        self,
+        fn: Callable[[_Shared, _Task], _Result],
+        shared: _Shared,
+        tasks: Iterable[_Task],
+    ) -> list[_Result]:
+        """Apply ``fn(shared, task)`` to every task, in input order.
+
+        ``shared`` is the heavy payload common to all tasks (DAGs, coverage
+        set, router factory); ``tasks`` are the light per-trial records.
+        The base implementation simply closes over ``shared`` — subclasses
+        that cross a process boundary override this to serialise the
+        payload once per call instead of once per task.
+        """
+        batch = list(tasks)
+        self._count_dispatch(shared_pickles=0, chunks=1, tasks=len(batch))
+        return self.map(functools.partial(fn, shared), batch)
+
+    def _count_dispatch(
+        self, *, shared_pickles: int, chunks: int, tasks: int
+    ) -> None:
+        self.dispatch_stats["shared_pickles"] += shared_pickles
+        self.dispatch_stats["chunks"] += chunks
+        self.dispatch_stats["tasks"] += tasks
 
     def close(self) -> None:
         """Release any worker resources.  Idempotent."""
@@ -80,6 +188,7 @@ class _PoolExecutor(TrialExecutor):
     """Shared lazy-pool plumbing for the ``concurrent.futures`` backends."""
 
     def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
         if max_workers is not None and max_workers < 1:
             raise TranspilerError("max_workers must be a positive integer")
         self.max_workers = max_workers
@@ -132,6 +241,10 @@ class ProcessExecutor(_PoolExecutor):
     The mapped function must be a module-level callable and every task
     must be picklable; :func:`repro.transpiler.passes.run_layout_trial`
     and :class:`repro.transpiler.passes.TrialTask` satisfy both.
+
+    :meth:`map_shared` is the preferred entry point for trial batches: it
+    pickles the shared payload exactly once per call, ships it once per
+    chunk, and workers memoise deserialisation by content digest.
     """
 
     name = "processes"
@@ -140,6 +253,45 @@ class ProcessExecutor(_PoolExecutor):
         return concurrent.futures.ProcessPoolExecutor(
             max_workers=self.max_workers
         )
+
+    def map_shared(
+        self,
+        fn: Callable[[_Shared, _Task], _Result],
+        shared: _Shared,
+        tasks: Iterable[_Task],
+    ) -> list[_Result]:
+        """Chunked shared-payload dispatch across worker processes.
+
+        The shared payload is serialised once in the parent; the light
+        tasks are split into ``~CHUNKS_PER_WORKER`` chunks per worker and
+        submitted as individual futures, so idle workers keep pulling
+        chunks (work stealing by queue) while slow ones finish.  Results
+        are reassembled in input order regardless of completion order.
+        """
+        batch: Sequence[_Task] = list(tasks)
+        if len(batch) <= 1:
+            # Not worth a round-trip (keeps single-trial runs pool-free).
+            self._count_dispatch(
+                shared_pickles=0, chunks=len(batch), tasks=len(batch)
+            )
+            return [fn(shared, task) for task in batch]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha1(blob).hexdigest()
+        workers = self.max_workers or os.cpu_count() or 1
+        size = max(1, math.ceil(len(batch) / (workers * CHUNKS_PER_WORKER)))
+        futures = [
+            self._pool.submit(_run_shared_chunk, digest, blob, fn, chunk)
+            for chunk in _chunk(batch, size)
+        ]
+        self._count_dispatch(
+            shared_pickles=1, chunks=len(futures), tasks=len(batch)
+        )
+        results: list[_Result] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
 
 
 #: Registry of executor names accepted by :func:`resolve_executor` (and by

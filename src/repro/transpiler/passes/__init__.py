@@ -8,15 +8,21 @@ from repro.transpiler.passes.cleanup import (
 )
 from repro.transpiler.passes.consolidate import consolidate_blocks
 from repro.transpiler.passes.sabre_layout import (
+    BatchTrialRef,
     DepthMetric,
     LayoutResult,
     SabreLayout,
     SabreRouterFactory,
     TrialOutcome,
+    TrialRef,
+    TrialSpec,
     TrialTask,
     depth_metric,
+    run_batch_trial,
     run_layout_trial,
+    run_trial,
     seed_sequence,
+    select_best,
     swap_count_metric,
 )
 from repro.transpiler.passes.sabre_swap import RoutingResult, SabreSwap
@@ -28,15 +34,21 @@ __all__ = [
     "remove_directives",
     "remove_identity_gates",
     "consolidate_blocks",
+    "BatchTrialRef",
     "DepthMetric",
     "LayoutResult",
     "SabreLayout",
     "SabreRouterFactory",
     "TrialOutcome",
+    "TrialRef",
+    "TrialSpec",
     "TrialTask",
     "depth_metric",
+    "run_batch_trial",
     "run_layout_trial",
+    "run_trial",
     "seed_sequence",
+    "select_best",
     "swap_count_metric",
     "RoutingResult",
     "SabreSwap",

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable
+import time
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -45,13 +46,25 @@ SelectionMetric = Callable[[RoutingResult], float]
 
 @dataclasses.dataclass
 class LayoutResult:
-    """Best routing found across all layout/routing trials."""
+    """Best routing found across all layout/routing trials.
+
+    Attributes:
+        routing: the winning trial's routed result.
+        score: its post-selection score (lower is better).
+        trial_index: index of the winning trial.
+        metric_name: label of the post-selection metric.
+        trial_scores: score of every trial, in trial order.
+        trial_seconds: summed wall-clock seconds spent inside the trials
+            (worker time — under a parallel executor this exceeds the
+            elapsed wall clock of the search).
+    """
 
     routing: RoutingResult
     score: float
     trial_index: int
     metric_name: str
     trial_scores: list[float] | None = None
+    trial_seconds: float = 0.0
 
     @property
     def dag(self) -> DAGCircuit:
@@ -128,8 +141,41 @@ class SabreRouterFactory:
 
 
 @dataclasses.dataclass(frozen=True)
+class TrialSpec:
+    """The heavy, trial-invariant half of a layout search, picklable.
+
+    Every trial of one circuit shares the same DAGs, coupling map, router
+    factory and post-selection metric; only the ``(trial_index, seed)``
+    pair differs.  Splitting the spec out lets
+    :meth:`~repro.transpiler.executors.TrialExecutor.map_shared` serialise
+    it once per dispatch instead of once per trial.
+    """
+
+    dag: DAGCircuit
+    reverse_dag: DAGCircuit
+    coupling: CouplingMap
+    router_factory: RouterFactory
+    refinement_rounds: int
+    routing_trials: int
+    selection_metric: SelectionMetric
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialRef:
+    """The light, per-trial half: which trial, and its private RNG stream."""
+
+    trial_index: int
+    seed: np.random.SeedSequence
+
+
+@dataclasses.dataclass(frozen=True)
 class TrialTask:
-    """Everything one independent layout trial needs, picklable."""
+    """Everything one independent layout trial needs, picklable.
+
+    Kept as the single-object view of a ``(TrialSpec, TrialRef)`` pair for
+    callers that drive trials by hand; executor dispatch uses the split
+    form so the spec ships once per chunk rather than once per trial.
+    """
 
     trial_index: int
     seed: np.random.SeedSequence
@@ -141,45 +187,113 @@ class TrialTask:
     routing_trials: int
     selection_metric: SelectionMetric
 
+    @property
+    def spec(self) -> TrialSpec:
+        return TrialSpec(
+            dag=self.dag,
+            reverse_dag=self.reverse_dag,
+            coupling=self.coupling,
+            router_factory=self.router_factory,
+            refinement_rounds=self.refinement_rounds,
+            routing_trials=self.routing_trials,
+            selection_metric=self.selection_metric,
+        )
+
+    @property
+    def ref(self) -> TrialRef:
+        return TrialRef(trial_index=self.trial_index, seed=self.seed)
+
 
 @dataclasses.dataclass
 class TrialOutcome:
-    """Score and routing of one completed layout trial."""
+    """Score, routing and wall time of one completed layout trial."""
 
     routing: RoutingResult
     score: float
     trial_index: int
+    seconds: float = 0.0
 
 
-def run_layout_trial(task: TrialTask) -> TrialOutcome:
+def run_trial(spec: TrialSpec, ref: TrialRef) -> TrialOutcome:
     """Run one independent layout trial (module-level for picklability).
 
     The trial's entire randomness — initial layout, router tie-breaking in
     every refinement round and final routing — comes from one generator
-    seeded by ``task.seed``, so the outcome depends only on the task, never
-    on sibling trials or execution order.
+    seeded by ``ref.seed``, so the outcome depends only on ``(spec, ref)``,
+    never on sibling trials or execution order.
     """
-    rng = np.random.default_rng(task.seed)
-    router = task.router_factory(task.trial_index)
+    start = time.perf_counter()
+    rng = np.random.default_rng(ref.seed)
+    router = spec.router_factory(ref.trial_index)
     layout = Layout.random(
-        task.dag.num_qubits, task.coupling.num_qubits, seed=rng
+        spec.dag.num_qubits, spec.coupling.num_qubits, seed=rng
     )
-    for _ in range(task.refinement_rounds):
-        forward = router.run(task.dag, layout, seed=rng)
+    for _ in range(spec.refinement_rounds):
+        forward = router.run(spec.dag, layout, seed=rng)
         layout = forward.final_layout
-        backward = router.run(task.reverse_dag, layout, seed=rng)
+        backward = router.run(spec.reverse_dag, layout, seed=rng)
         layout = backward.final_layout
     best_routing: RoutingResult | None = None
     best_score = math.inf
-    for _ in range(max(1, task.routing_trials)):
-        result = router.run(task.dag, layout, seed=rng)
-        score = task.selection_metric(result)
+    for _ in range(max(1, spec.routing_trials)):
+        result = router.run(spec.dag, layout, seed=rng)
+        score = spec.selection_metric(result)
         if best_routing is None or score < best_score:
             best_routing = result
             best_score = score
     assert best_routing is not None  # routing_trials >= 1
     return TrialOutcome(
-        routing=best_routing, score=best_score, trial_index=task.trial_index
+        routing=best_routing,
+        score=best_score,
+        trial_index=ref.trial_index,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def run_layout_trial(task: TrialTask) -> TrialOutcome:
+    """Run one self-contained :class:`TrialTask` (see :func:`run_trial`)."""
+    return run_trial(task.spec, task.ref)
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchTrialRef:
+    """One trial of one circuit inside a multi-circuit dispatch."""
+
+    circuit_index: int
+    ref: TrialRef
+
+
+def run_batch_trial(
+    specs: Sequence[TrialSpec], batch_ref: BatchTrialRef
+) -> TrialOutcome:
+    """Run one trial of a multi-circuit batch against its shared specs.
+
+    ``specs`` — one :class:`TrialSpec` per circuit — is the shared payload
+    of the circuit-level fan-out engine
+    (:func:`repro.core.transpile.transpile_many`): all circuits' DAGs and
+    the one coverage set travel to workers together, once per chunk, and
+    pickle's internal memo deduplicates the coverage set across specs.
+    """
+    return run_trial(specs[batch_ref.circuit_index], batch_ref.ref)
+
+
+def select_best(
+    outcomes: Sequence[TrialOutcome],
+    metric_name: str = "swaps",
+) -> LayoutResult:
+    """Pick the winning trial: lowest score, ties to the lowest index.
+
+    The tie-break keeps the winner independent of trial execution order,
+    so any executor (or fan-out mode) returns the same result.
+    """
+    best = min(outcomes, key=lambda o: (o.score, o.trial_index))
+    return LayoutResult(
+        routing=best.routing,
+        score=best.score,
+        trial_index=best.trial_index,
+        metric_name=metric_name,
+        trial_scores=[outcome.score for outcome in outcomes],
+        trial_seconds=sum(outcome.seconds for outcome in outcomes),
     )
 
 
@@ -235,39 +349,54 @@ class SabreLayout:
         self.executor = executor
         self.max_workers = max_workers
 
-    def trial_tasks(self, dag: DAGCircuit) -> list[TrialTask]:
-        """Build the independent, order-insensitive tasks for ``dag``."""
-        reverse = _reverse_dag(dag)
+    def trial_spec(self, dag: DAGCircuit) -> TrialSpec:
+        """Build the heavy, trial-invariant payload for ``dag``."""
+        return TrialSpec(
+            dag=dag,
+            reverse_dag=_reverse_dag(dag),
+            coupling=self.coupling,
+            router_factory=self.router_factory,
+            refinement_rounds=self.refinement_rounds,
+            routing_trials=self.routing_trials,
+            selection_metric=self.selection_metric,
+        )
+
+    def trial_refs(self) -> list[TrialRef]:
+        """Spawn the light, order-insensitive per-trial seed records."""
         trial_seeds = seed_sequence(self.seed).spawn(self.layout_trials)
         return [
-            TrialTask(
-                trial_index=trial,
-                seed=trial_seeds[trial],
-                dag=dag,
-                reverse_dag=reverse,
-                coupling=self.coupling,
-                router_factory=self.router_factory,
-                refinement_rounds=self.refinement_rounds,
-                routing_trials=self.routing_trials,
-                selection_metric=self.selection_metric,
-            )
+            TrialRef(trial_index=trial, seed=trial_seeds[trial])
             for trial in range(self.layout_trials)
+        ]
+
+    def trial_tasks(self, dag: DAGCircuit) -> list[TrialTask]:
+        """Build the independent, order-insensitive tasks for ``dag``."""
+        spec = self.trial_spec(dag)
+        return [
+            TrialTask(
+                trial_index=ref.trial_index,
+                seed=ref.seed,
+                dag=spec.dag,
+                reverse_dag=spec.reverse_dag,
+                coupling=spec.coupling,
+                router_factory=spec.router_factory,
+                refinement_rounds=spec.refinement_rounds,
+                routing_trials=spec.routing_trials,
+                selection_metric=spec.selection_metric,
+            )
+            for ref in self.trial_refs()
         ]
 
     def run(self, dag: DAGCircuit) -> LayoutResult:
         """Search layouts and return the best routed result.
 
         Ties between equal-scoring trials always go to the lowest trial
-        index, keeping the winner independent of the executor.
+        index, keeping the winner independent of the executor.  Trials are
+        dispatched in split spec/ref form so pool-backed executors ship
+        the DAGs and coverage set once per chunk, not once per trial.
         """
-        tasks = self.trial_tasks(dag)
+        spec = self.trial_spec(dag)
+        refs = self.trial_refs()
         with executor_scope(self.executor, self.max_workers) as executor:
-            outcomes = executor.map(run_layout_trial, tasks)
-        best = min(outcomes, key=lambda o: (o.score, o.trial_index))
-        return LayoutResult(
-            routing=best.routing,
-            score=best.score,
-            trial_index=best.trial_index,
-            metric_name=self.metric_name,
-            trial_scores=[outcome.score for outcome in outcomes],
-        )
+            outcomes = executor.map_shared(run_trial, spec, refs)
+        return select_best(outcomes, self.metric_name)

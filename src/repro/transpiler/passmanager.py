@@ -143,6 +143,17 @@ class PassManager:
         state = PipelineState(
             circuit=circuit, properties=PropertySet(properties or {})
         )
+        return self.execute_state(state)
+
+    def execute_state(self, state: PipelineState) -> PipelineState:
+        """Run the pipeline over an existing :class:`PipelineState`.
+
+        This is how multi-phase drivers (the circuit-level batch engine in
+        :func:`repro.core.transpile.transpile_many`) resume a pipeline:
+        the front half runs via :meth:`execute`, external work happens on
+        the state's properties, then the back half continues on the same
+        state — records accumulate across both halves.
+        """
         # Shared list so records of a stage that raises are not lost.
         self.records = state.records
         for stage in self.passes:

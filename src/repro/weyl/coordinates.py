@@ -270,23 +270,40 @@ def weyl_coordinates_many(
 ) -> np.ndarray:
     """Canonical Weyl coordinates of a batch of two-qubit unitaries.
 
-    Both the per-unitary linear algebra (stacked determinants, magic-basis
-    conjugations, eigenvalues) and the dominant cost — scoring the 96
-    candidate pairings of each unitary — run as numpy batches across the
-    whole input; only the final Makhlin-invariant divisions loop per row to
-    stay bit-identical to the scalar complex arithmetic.  The batched path
-    is therefore far faster than repeated calls of :func:`weyl_coordinates`
-    (itself a batch of one) while producing identical values.
+    Parameters
+    ----------
+    unitaries : array_like, shape (m, 4, 4)
+        Two-qubit unitary matrices, any global phase (an iterable of
+        4x4 matrices, or a single 4x4 matrix treated as a batch of one).
+    atol : float
+        Tolerance used when matching Makhlin invariants.
 
-    Args:
-        unitaries: ``(m, 4, 4)`` array (or iterable of 4x4 matrices).
-        atol: tolerance used when matching Makhlin invariants.
+    Returns
+    -------
+    numpy.ndarray, shape (m, 3)
+        Canonical ``(a, b, c)`` triples inside the Weyl chamber, row per
+        input unitary.
 
-    Returns:
-        ``(m, 3)`` array of canonical coordinates.
+    Raises
+    ------
+    WeylError
+        On malformed shapes or non-unitary inputs (``|det| != 1``).
 
-    Raises:
-        WeylError: on malformed shapes or non-unitary inputs.
+    Notes
+    -----
+    Both the per-unitary linear algebra (stacked determinants,
+    magic-basis conjugations, eigenvalues) and the dominant cost —
+    scoring the 96 candidate pairings of each unitary — run as numpy
+    batches across the whole input; only the final Makhlin-invariant
+    divisions loop per row, because numpy's complex array-division ufunc
+    rounds one ulp differently than scalar complex division and the
+    batch must stay **bit-identical** to :func:`weyl_coordinates`
+    (itself a batch of one).  The result is deterministic and
+    independent of batch composition: splitting, concatenating or
+    reordering batches never changes any row's coordinates.  Extraction
+    is pure computation — coordinate *memoisation* lives one level up in
+    :class:`repro.polytopes.cache.CoordinateCache`, which dedups batch
+    misses before calling this function.
     """
     stack = np.asarray(
         unitaries if isinstance(unitaries, np.ndarray) else list(unitaries),

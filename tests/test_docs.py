@@ -1,0 +1,47 @@
+"""Tier-1 wiring for the executable-documentation checks.
+
+``tools/check_docs.py`` executes every python snippet in ``README.md``
+and ``docs/*.md`` and lints docstring coverage on the public API; these
+tests run the same checks under pytest so documented examples cannot rot
+even without the dedicated CI job.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+CHECK_DOCS = _load_check_docs()
+
+
+def test_documentation_files_exist():
+    for path in CHECK_DOCS.documentation_files():
+        assert path.exists(), path
+
+
+def test_readme_snippets_execute():
+    readme = REPO_ROOT / "README.md"
+    blocks = CHECK_DOCS.extract_blocks(readme)
+    assert blocks, "README must carry at least one runnable snippet"
+    assert CHECK_DOCS.run_document(readme) == []
+
+
+def test_docs_snippets_execute():
+    for path in sorted((REPO_ROOT / "docs").glob("*.md")):
+        assert CHECK_DOCS.run_document(path) == [], path
+
+
+def test_public_api_docstrings():
+    assert CHECK_DOCS.lint_docstrings() == []

@@ -1,0 +1,182 @@
+"""Executable-documentation checks: run doc snippets, lint docstrings.
+
+Two jobs, both wired into CI (and into the tier-1 suite via
+``tests/test_docs.py``) so documentation cannot rot:
+
+1. **Snippet execution** — every fenced ```` ```python ```` block in
+   ``README.md`` and ``docs/*.md`` is executed, top to bottom, with the
+   blocks of one document sharing a namespace (so a later block can use
+   names defined by an earlier one).  Blocks fenced as
+   ```` ```python no-run ```` are syntax-checked but not executed —
+   reserve that for snippets needing hardware or long wall-clock.
+
+2. **Docstring lint** — the public API must carry real docstrings, and
+   the documented numpy-style surfaces must keep their section headers
+   (``Parameters``/``Returns``/``Attributes``), shapes and determinism
+   notes from silently disappearing in refactors.
+
+Run from the repo root:
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"^```(\S+)?(.*)$")
+
+#: Public API callables that must have a substantive docstring.
+#: Entries are (module, attribute path) pairs.
+PUBLIC_API = [
+    ("repro.core.transpile", "transpile"),
+    ("repro.core.transpile", "transpile_many"),
+    ("repro.core.transpile", "compare_methods"),
+    ("repro.core.results", "TranspileResult"),
+    ("repro.core.results", "BatchResult"),
+    ("repro.polytopes.coverage", "CoverageSet.cost_of"),
+    ("repro.polytopes.coverage", "CoverageSet.cost_of_many"),
+    ("repro.polytopes.coverage", "CoverageSet.mirror_cost_of_many"),
+    ("repro.polytopes.coverage", "CoverageSet.depth_of_many"),
+    ("repro.weyl.coordinates", "weyl_coordinates"),
+    ("repro.weyl.coordinates", "weyl_coordinates_many"),
+    ("repro.transpiler.executors", "TrialExecutor.map"),
+    ("repro.transpiler.executors", "TrialExecutor.map_shared"),
+    ("repro.transpiler.passes.sabre_layout", "run_trial"),
+]
+
+#: Subset that must keep numpy-style section headers.
+NUMPY_STYLE = {
+    "repro.core.transpile.transpile_many",
+    "repro.core.results.TranspileResult",
+    "repro.core.results.BatchResult",
+    "repro.polytopes.coverage.CoverageSet.cost_of_many",
+    "repro.polytopes.coverage.CoverageSet.mirror_cost_of_many",
+    "repro.polytopes.coverage.CoverageSet.depth_of_many",
+    "repro.weyl.coordinates.weyl_coordinates_many",
+}
+
+NUMPY_SECTIONS = ("Parameters", "Returns", "Attributes")
+
+
+def extract_blocks(path: Path) -> list[tuple[int, str, bool]]:
+    """Pull fenced python blocks out of a markdown file.
+
+    Returns ``(first_line_number, source, runnable)`` triples; blocks
+    fenced with an extra ``no-run`` word are marked non-runnable.
+    """
+    blocks: list[tuple[int, str, bool]] = []
+    lines = path.read_text().splitlines()
+    inside = False
+    runnable = True
+    start = 0
+    buffer: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        match = FENCE_RE.match(line.strip())
+        if match is None:
+            if inside:
+                buffer.append(line)
+            continue
+        if not inside:
+            language = (match.group(1) or "").lower()
+            if language == "python":
+                inside = True
+                runnable = "no-run" not in (match.group(2) or "")
+                start = number + 1
+                buffer = []
+            continue
+        blocks.append((start, "\n".join(buffer), runnable))
+        inside = False
+    if inside:
+        # A missing closing fence must not silently drop the block — keep
+        # it so the snippet still gets compiled/executed (and fails loudly
+        # if the truncation broke it).
+        blocks.append((start, "\n".join(buffer), runnable))
+    return blocks
+
+
+def run_document(path: Path) -> list[str]:
+    """Execute every runnable block of one document in one namespace."""
+    errors: list[str] = []
+    namespace: dict = {"__name__": f"docsnippet:{path.name}"}
+    for lineno, source, runnable in extract_blocks(path):
+        label = f"{path.relative_to(REPO_ROOT)}:{lineno}"
+        try:
+            code = compile(source, label, "exec")
+        except SyntaxError:
+            errors.append(f"{label}: snippet does not parse\n"
+                          f"{traceback.format_exc(limit=0)}")
+            continue
+        if not runnable:
+            continue
+        try:
+            exec(code, namespace)
+        except Exception:
+            errors.append(f"{label}: snippet raised\n"
+                          f"{traceback.format_exc(limit=3)}")
+    return errors
+
+
+def _resolve(module_name: str, attribute_path: str):
+    module = __import__(module_name, fromlist=["_"])
+    target = module
+    for part in attribute_path.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def lint_docstrings() -> list[str]:
+    """Check the public API carries substantive (and styled) docstrings."""
+    errors: list[str] = []
+    for module_name, attribute_path in PUBLIC_API:
+        qualified = f"{module_name}.{attribute_path}"
+        try:
+            target = _resolve(module_name, attribute_path)
+        except (ImportError, AttributeError) as exc:
+            errors.append(f"{qualified}: cannot resolve ({exc})")
+            continue
+        doc = target.__doc__ or ""
+        if len(doc.strip()) < 40:
+            errors.append(f"{qualified}: missing or trivial docstring")
+            continue
+        if qualified in NUMPY_STYLE and not any(
+            section in doc for section in NUMPY_SECTIONS
+        ):
+            errors.append(
+                f"{qualified}: expected a numpy-style section header "
+                f"({'/'.join(NUMPY_SECTIONS)})"
+            )
+    return errors
+
+
+def documentation_files() -> list[Path]:
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [REPO_ROOT / "README.md", *docs]
+
+
+def main() -> int:
+    failures: list[str] = []
+    for path in documentation_files():
+        if not path.exists():
+            failures.append(f"{path}: missing documentation file")
+            continue
+        count = len(extract_blocks(path))
+        print(f"[snippets] {path.relative_to(REPO_ROOT)}: {count} block(s)")
+        failures.extend(run_document(path))
+    failures.extend(lint_docstrings())
+    if failures:
+        print(f"\n{len(failures)} documentation failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"- {failure}", file=sys.stderr)
+        return 1
+    print("documentation OK: snippets execute, public API is documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
