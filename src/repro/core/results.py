@@ -144,10 +144,21 @@ class BatchResult:
         one shared dispatch).  Fixed-seed outputs are byte-identical
         across modes; only the timing profile differs.
     dispatch : dict or None
-        Provenance counters of the shared dispatch (``shared_pickles``,
-        ``chunks``, ``tasks``) accumulated on the executor during this
-        batch, plus ``circuits`` and ``routed`` counts.  ``None`` when
-        unavailable (e.g. results predating this field).
+        Provenance counters of the shared dispatch accumulated on the
+        executor during this batch: ``shared_pickles`` (heavy payload /
+        anchor serialisations), ``payload_pickles`` (per-circuit spec
+        serialisations under the streaming scheduler), ``chunks``,
+        ``tasks``, ``shm_segments`` (shared-memory segments published —
+        0 when the transport is disabled or unavailable) and
+        ``bytes_shipped`` (payload-transport bytes attached to chunks —
+        O(1) per chunk in shared-memory mode, one blob per chunk
+        otherwise), plus ``circuits`` and ``routed`` counts.  Under
+        circuit-level fan-out it also records ``scheduler`` (``"stream"``
+        or ``"barrier"`` — the mode actually used, after any fallback)
+        and ``overlap_seconds`` (planning/selection wall-clock performed
+        while dispatched trials were still in flight; 0 under the
+        barrier scheduler).  ``None`` when unavailable (e.g. results
+        predating this field).
     """
 
     results: list[TranspileResult]

@@ -25,7 +25,9 @@ serially, on a thread pool or on a process pool.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import os
 import time
 from typing import Iterable, Sequence
 
@@ -46,6 +48,7 @@ from repro.transpiler.executors import TrialExecutor, executor_scope
 from repro.transpiler.passes import (
     BatchTrialRef,
     run_batch_trial,
+    run_trial,
     seed_sequence,
 )
 from repro.transpiler.passmanager import PipelineState
@@ -58,6 +61,20 @@ FANOUT_MODES = {
     "sequential": "trials",
     "circuits": "circuits",
 }
+
+#: Scheduler modes accepted by :func:`transpile_many` under circuit-level
+#: fan-out (aliases included).  ``"stream"`` overlaps planning, trial
+#: execution and selection; ``"barrier"`` is the three-phase
+#: plan-all / dispatch-all / finish-all engine.
+SCHEDULER_MODES = {
+    "auto": "auto",
+    "stream": "stream",
+    "overlap": "stream",
+    "barrier": "barrier",
+}
+
+#: Lower bound on the streaming scheduler's in-flight circuit window.
+MIN_STREAM_WINDOW = 4
 
 
 def prepare_circuit(
@@ -184,6 +201,38 @@ def _resolve_fanout(fanout: str, batch_size: int) -> str:
     return mode
 
 
+def _resolve_scheduler(scheduler: str) -> str:
+    """Normalise a scheduler specification to ``"stream"`` or ``"barrier"``.
+
+    ``"auto"`` picks the streaming overlap scheduler — the modes are
+    byte-identical for a fixed seed, so the choice only affects the
+    wall-clock profile (and the scheduler can still fall back to the
+    barrier engine when the executor cannot stream, e.g. a process pool
+    without a shared-memory transport).
+    """
+    try:
+        mode = SCHEDULER_MODES[scheduler.lower()]
+    except (KeyError, AttributeError):
+        known = ", ".join(sorted(set(SCHEDULER_MODES)))
+        raise TranspilerError(
+            f"unknown scheduler mode {scheduler!r} (known: {known})"
+        ) from None
+    return "stream" if mode == "auto" else mode
+
+
+def _stream_window(trial_executor: TrialExecutor) -> int:
+    """In-flight circuit bound for the streaming scheduler.
+
+    Enough planned-but-unfinished circuits to keep every worker busy
+    across circuit boundaries, small enough to bound the memory held by
+    parked trial plans (DAGs) and undelivered outcomes.
+    """
+    workers = (
+        getattr(trial_executor, "max_workers", None) or os.cpu_count() or 1
+    )
+    return max(MIN_STREAM_WINDOW, 2 * workers)
+
+
 def _dispatch_provenance(
     trial_executor: TrialExecutor,
     stats_before: dict[str, int],
@@ -233,23 +282,28 @@ def _run_circuit_fanout(
     use_vf2: bool,
     circuit_seeds: Sequence[np.random.SeedSequence],
     trial_executor: TrialExecutor,
+    scheduler: str = "stream",
 ) -> tuple[list[TranspileResult], dict]:
-    """Two-level scheduler: plan every circuit, pool all trials, finish.
+    """Two-level circuit fan-out under the requested scheduler.
 
-    Phase A runs each circuit's front pipeline (clean → … → vf2 → plan),
-    phase B pools every planned trial into **one** shared dispatch on the
-    executor — the coverage set and all circuit DAGs ship to workers once
-    per chunk — and phase C resumes each circuit's pipeline to select its
-    winner.  Per-circuit seeds and per-trial streams are spawned exactly
-    as the sequential mode spawns them, so fixed-seed outputs are
-    byte-identical across modes and executors.
+    Both schedulers plan each circuit with the same front pipeline
+    (clean → … → vf2 → plan) and spawn per-circuit seeds and per-trial
+    streams exactly as the sequential mode spawns them, so fixed-seed
+    outputs are byte-identical across schedulers, fan-out modes and
+    executors; only the wall-clock profile differs:
+
+    * ``"stream"`` — a bounded producer plans circuits and feeds their
+      trial refs into an in-flight :class:`DispatchSession`, while
+      circuits whose trials have drained resume (route + select)
+      immediately, so planning, trial execution and selection overlap.
+      Falls back to the barrier engine when the executor cannot stream
+      (process pool without a shared-memory transport).
+    * ``"barrier"`` — three phases: plan **all** circuits, pool every
+      planned trial into one shared :meth:`map_shared` dispatch, then
+      finish all circuits.
     """
-    stats_before = dict(trial_executor.dispatch_stats)
 
-    states: list[PipelineState] = []
-    front_seconds: list[float] = []
-    for circuit, circuit_seed in zip(batch, circuit_seeds):
-        front_start = time.perf_counter()
+    def plan(circuit, circuit_seed):
         front = build_batch_front_pipeline(
             coupling,
             basis=basis,
@@ -263,7 +317,41 @@ def _run_circuit_fanout(
             use_vf2=use_vf2,
             seed=circuit_seed,
         )
-        states.append(front.execute(circuit))
+        return front.execute(circuit)
+
+    stats_before = dict(trial_executor.dispatch_stats)
+    if scheduler == "stream":
+        session = trial_executor.open_dispatch(run_trial, anchors=(coverage,))
+        if session is not None:
+            return _stream_circuit_fanout(
+                batch, plan, circuit_seeds, trial_executor, session,
+                stats_before,
+            )
+    return _barrier_circuit_fanout(
+        batch, plan, circuit_seeds, trial_executor, stats_before
+    )
+
+
+def _barrier_circuit_fanout(
+    batch: list[QuantumCircuit],
+    plan,
+    circuit_seeds: Sequence[np.random.SeedSequence],
+    trial_executor: TrialExecutor,
+    stats_before: dict[str, int],
+) -> tuple[list[TranspileResult], dict]:
+    """Plan every circuit, pool all trials into one dispatch, finish.
+
+    Phase A runs each circuit's front pipeline, phase B pools every
+    planned trial into **one** shared dispatch on the executor — the
+    coverage set and all circuit DAGs ship to workers once (per chunk in
+    blob mode, once per batch through a shared-memory segment) — and
+    phase C resumes each circuit's pipeline to select its winner.
+    """
+    states: list[PipelineState] = []
+    front_seconds: list[float] = []
+    for circuit, circuit_seed in zip(batch, circuit_seeds):
+        front_start = time.perf_counter()
+        states.append(plan(circuit, circuit_seed))
         front_seconds.append(time.perf_counter() - front_start)
 
     # Pool the trials of every still-unrouted circuit.  Specs are indexed
@@ -273,17 +361,17 @@ def _run_circuit_fanout(
     pooled_refs: list[BatchTrialRef] = []
     refs_per_state: list[int] = []
     for state in states:
-        plan = state.properties.get("trial_plan")
-        if plan is None:
+        trial_plan = state.properties.get("trial_plan")
+        if trial_plan is None:
             refs_per_state.append(0)
             continue
         spec_position = len(specs)
-        specs.append(plan.spec)
+        specs.append(trial_plan.spec)
         pooled_refs.extend(
             BatchTrialRef(circuit_index=spec_position, ref=ref)
-            for ref in plan.refs
+            for ref in trial_plan.refs
         )
-        refs_per_state.append(len(plan.refs))
+        refs_per_state.append(len(trial_plan.refs))
 
     outcomes = (
         trial_executor.map_shared(run_batch_trial, tuple(specs), pooled_refs)
@@ -305,6 +393,101 @@ def _run_circuit_fanout(
         circuits=len(batch),
         routed=sum(1 for count in refs_per_state if count),
     )
+    dispatch["scheduler"] = "barrier"
+    dispatch["overlap_seconds"] = 0.0
+    return results, dispatch
+
+
+@dataclasses.dataclass
+class _StreamEntry:
+    """One planned circuit waiting for its trial outcomes to drain."""
+
+    state: PipelineState
+    front_seconds: float
+    futures: list
+    slot: int = -1
+
+
+def _stream_circuit_fanout(
+    batch: list[QuantumCircuit],
+    plan,
+    circuit_seeds: Sequence[np.random.SeedSequence],
+    trial_executor: TrialExecutor,
+    session,
+    stats_before: dict[str, int],
+) -> tuple[list[TranspileResult], dict]:
+    """Streaming overlap scheduler: plan, dispatch and finish concurrently.
+
+    The producer plans circuits one at a time and immediately feeds each
+    circuit's trial refs into the in-flight dispatch session; whenever
+    the *oldest* in-flight circuit's futures have all completed it is
+    resumed (route + select) right away, so phase-C work of early
+    circuits overlaps the phase-B trials of later ones — and, on a
+    parallel executor, phase-A planning overlaps both.  The in-flight
+    window is bounded (:func:`_stream_window`) so arbitrarily long
+    batches hold only a constant number of parked trial plans.
+
+    ``overlap_seconds`` in the returned provenance sums the planning and
+    selection work performed while dispatched trials were still in
+    flight — the wall-clock the barrier scheduler would have serialised.
+    """
+    window = _stream_window(trial_executor)
+    overlap = 0.0
+    routed = 0
+    results: list[TranspileResult] = []
+    pending: collections.deque[_StreamEntry] = collections.deque()
+
+    def finish(entry: _StreamEntry) -> None:
+        nonlocal overlap
+        if entry.futures:
+            # May block until this circuit's chunks complete — idle wait,
+            # deliberately excluded from the overlap metric below.
+            entry.state.properties["trial_outcomes"] = [
+                outcome
+                for future in entry.futures
+                for outcome in future.result()
+            ]
+            session.release(entry.slot)
+        start = time.perf_counter()
+        results.append(_finish_batch_state(entry.state, entry.front_seconds))
+        if session.outstanding():
+            overlap += time.perf_counter() - start
+
+    try:
+        for circuit, circuit_seed in zip(batch, circuit_seeds):
+            front_start = time.perf_counter()
+            state = plan(circuit, circuit_seed)
+            front_spent = time.perf_counter() - front_start
+            if session.outstanding():
+                overlap += front_spent
+            trial_plan = state.properties.get("trial_plan")
+            futures: list = []
+            slot = -1
+            if trial_plan is not None:
+                slot = session.add_payload(trial_plan.spec)
+                futures = session.submit(slot, trial_plan.refs)
+                routed += 1
+            pending.append(_StreamEntry(state, front_spent, futures, slot))
+            # Finish any leading circuits whose trials already drained
+            # (non-blocking), then enforce the bounded window (blocking
+            # on the oldest circuit only when the producer ran ahead).
+            while pending and all(f.done() for f in pending[0].futures):
+                finish(pending.popleft())
+            while len(pending) > window:
+                finish(pending.popleft())
+        while pending:
+            finish(pending.popleft())
+    finally:
+        session.close()
+
+    dispatch = _dispatch_provenance(
+        trial_executor,
+        stats_before,
+        circuits=len(batch),
+        routed=routed,
+    )
+    dispatch["scheduler"] = "stream"
+    dispatch["overlap_seconds"] = round(overlap, 6)
     return results, dispatch
 
 
@@ -325,6 +508,7 @@ def transpile_many(
     executor: str | TrialExecutor | None = None,
     max_workers: int | None = None,
     fanout: str = "auto",
+    scheduler: str = "auto",
 ) -> BatchResult:
     """Transpile a batch of circuits sharing one coverage set and executor.
 
@@ -337,21 +521,40 @@ def transpile_many(
     * ``"trials"`` (a.k.a. ``"sequential"``) — circuits are walked one
       after another; parallelism lives inside each circuit's routing-trial
       fan-out.  Best when individual circuits are large.
-    * ``"circuits"`` — every circuit is *planned* first (clean → … → vf2),
-      then all planned routing trials are pooled into one shared chunked
-      dispatch, and each circuit's winner is selected afterwards.  Best
-      for many-small-circuit workloads: workers stay busy across circuit
-      boundaries and the coverage set plus the per-circuit DAGs ship to
-      process workers once per chunk instead of once per trial.
+    * ``"circuits"`` — every circuit is *planned* (clean → … → vf2 →
+      ``plan``) and its routing trials go through one shared dispatch on
+      the executor, with each circuit's winner selected from its
+      delivered outcomes.  Best for many-small-circuit workloads:
+      workers stay busy across circuit boundaries and the coverage set
+      plus the per-circuit DAGs cross the process boundary once (via a
+      shared-memory segment when available) instead of once per trial.
     * ``"auto"`` (default) — ``"circuits"`` when the batch holds more than
       one circuit, else ``"trials"``.
+
+    Under circuit-level fan-out, ``scheduler`` picks how the three kinds
+    of work are interleaved:
+
+    * ``"stream"`` (a.k.a. ``"overlap"``) — a bounded producer plans
+      circuits and feeds trial refs into the in-flight dispatch while
+      already-drained circuits resume (route + select) immediately, so
+      planning, trial execution and selection overlap instead of running
+      as three barriers.  Requires a streaming-capable dispatch — on the
+      process executor that means the shared-memory transport; without
+      it (or with ``MIRAGE_SHM_DISABLE=1``) the call silently falls back
+      to the barrier engine, recorded in the dispatch provenance.
+    * ``"barrier"`` — plan **all**, dispatch **all**, finish **all**
+      (the engine preceding the streaming scheduler).
+    * ``"auto"`` (default) — ``"stream"``.
 
     Parameters
     ----------
     circuits : iterable of QuantumCircuit
         The circuits to transpile.
     fanout : {"auto", "trials", "sequential", "circuits"}
-        Batch scheduling mode, see above.
+        Batch fan-out mode, see above.
+    scheduler : {"auto", "stream", "overlap", "barrier"}
+        Circuit fan-out scheduling mode, see above (ignored under
+        ``fanout="trials"``).
     **others
         Exactly as :func:`transpile`.
 
@@ -366,10 +569,11 @@ def transpile_many(
     *Determinism.*  Per-circuit seeds are spawned from ``seed`` via
     ``numpy.random.SeedSequence`` by batch position, and per-trial streams
     from each circuit seed — the identical spawn tree in every fan-out
-    mode and on every executor.  For a fixed circuit list and seed the
-    batch is therefore byte-identical across ``fanout`` and ``executor``
-    choices; but reordering, inserting or removing circuits reseeds the
-    affected positions, and a batch of one does not reproduce a bare
+    mode, scheduler and executor.  For a fixed circuit list and seed the
+    batch is therefore byte-identical across ``fanout``, ``scheduler``
+    and ``executor`` choices (shared-memory transport included); but
+    reordering, inserting or removing circuits reseeds the affected
+    positions, and a batch of one does not reproduce a bare
     :func:`transpile` call with the same integer seed.
 
     *Caches.*  The coverage set's memoised cost table stays in the parent
@@ -383,6 +587,7 @@ def transpile_many(
     # the coverage-set build.
     method, selection = validate_flow(method, selection)
     mode = _resolve_fanout(fanout, len(batch))
+    scheduler_mode = _resolve_scheduler(scheduler)
     dispatch: dict | None = None
     with executor_scope(executor, max_workers) as trial_executor:
         shared_coverage = (
@@ -404,6 +609,7 @@ def transpile_many(
                 use_vf2=use_vf2,
                 circuit_seeds=circuit_seeds,
                 trial_executor=trial_executor,
+                scheduler=scheduler_mode,
             )
         else:
             stats_before = dict(trial_executor.dispatch_stats)

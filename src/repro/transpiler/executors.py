@@ -33,36 +33,73 @@ process pool to re-pickle that state once per task (or, with
 ``chunksize``, once per chunk).  :meth:`TrialExecutor.map_shared`
 separates the two:
 
-* the *shared* payload is pickled **once per call** in the parent and the
-  same byte blob is attached to every chunk;
-* workers memoise deserialisation by blob digest, so each worker process
-  unpickles a given payload at most once no matter how many chunks it
-  pulls;
+* the *shared* payload is pickled **once per call** in the parent;
+* on hosts with POSIX shared memory the pickled bytes are published into
+  a named ``multiprocessing.shared_memory`` segment and each chunk
+  carries only a :class:`PayloadHandle` (segment name + content digest)
+  — O(1) transport bytes per chunk no matter how large the payload;
+* without shared memory (non-POSIX platforms, or
+  ``MIRAGE_SHM_DISABLE=1``) the byte blob itself travels with every
+  chunk, exactly the pre-shared-memory behaviour;
+* workers memoise deserialisation by content digest, so each worker
+  process unpickles (and, in shm mode, reads) a given payload at most
+  once no matter how many chunks it pulls;
 * the light per-task records are dispatched as many small chunks through
   a work-stealing-style future queue — idle workers pull the next chunk
   instead of being handed a fixed static share — while results are
   reassembled in input order, keeping deterministic seeding schemes
   executor-independent.
 
-Each executor records how much serialisation the last calls cost in
-:attr:`TrialExecutor.dispatch_stats` (``shared_pickles``, ``chunks``,
-``tasks``), which the batch engine surfaces as provenance and the test
-suite uses as a re-pickling regression check.
+Segments are unlinked in a ``finally`` block once every chunk of the
+dispatch has completed (worker exceptions included), an ``atexit`` guard
+in the parent unlinks anything a crashed dispatch left behind, and a
+matching worker-side guard closes attachments that never reached their
+own ``finally``.
+
+Streaming dispatch sessions
+---------------------------
+
+:meth:`TrialExecutor.open_dispatch` generalises :meth:`map_shared` for
+the streaming batch scheduler: a :class:`DispatchSession` accepts heavy
+payloads *incrementally* (:meth:`DispatchSession.add_payload`) and
+returns futures per submitted chunk, so the producer can keep planning
+circuits while earlier circuits' trials are already running.  Payloads
+of one session may share *anchor* objects (the batch's one coverage
+set): anchors are pickled exactly once into their own segment, and every
+payload pickled afterwards stores a tiny persistent reference wherever
+it contains an anchor object.  The process-backed session requires
+shared memory and returns ``None`` from ``open_dispatch`` when the
+transport is unavailable, letting callers fall back to the barrier
+:meth:`map_shared` path.
+
+Each executor records how much serialisation and transport the last
+calls cost in :attr:`TrialExecutor.dispatch_stats` (``shared_pickles``,
+``payload_pickles``, ``chunks``, ``tasks``, ``shm_segments``,
+``bytes_shipped``), which the batch engine surfaces as provenance and
+the test suite uses as a re-pickling regression check.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import contextlib
 import functools
 import hashlib
+import io
 import math
 import os
 import pickle
+import secrets
 from collections import OrderedDict
-from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.exceptions import TranspilerError
+
+try:  # POSIX shared memory is optional — everything degrades to blobs.
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic platforms only
+    _shared_memory = None
 
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
@@ -71,48 +108,505 @@ _Shared = TypeVar("_Shared")
 #: How many chunks each worker should get on average from
 #: :meth:`TrialExecutor.map_shared`.  More chunks per worker improves load
 #: balancing when trial durations vary (the work-stealing effect); fewer
-#: chunks amortise the per-chunk payload shipping better.
+#: chunks amortise the per-chunk dispatch overhead better.
 CHUNKS_PER_WORKER = 4
 
-#: Worker-side cap on memoised shared payloads (LRU).  Small: payloads are
-#: keyed by content digest, and a batch run only ever has a handful live.
-_SHARED_CACHE_LIMIT = 8
+#: Worker-side cap on memoised shared payloads (LRU).  Sized to exceed
+#: the streaming scheduler's in-flight window — ``max(4, 2 * workers)``
+#: per-circuit payloads plus the session anchor — with headroom, because
+#: evicting a live payload would silently re-pay the deserialisation the
+#: memo exists to avoid.  Scaled from the host's core count since worker
+#: pools default to it.
+_SHARED_CACHE_LIMIT = max(64, 4 * (os.cpu_count() or 1) + 8)
+
+#: Prefix of every shared-memory segment this module creates; the cleanup
+#: regression tests scan ``/dev/shm`` for it.
+SHM_SEGMENT_PREFIX = "mirage_shm_"
 
 _shared_cache: "OrderedDict[str, object]" = OrderedDict()
 
+#: Dispatcher-side registry of live segment names (mapped to the pid that
+#: created them — forked workers inherit a copy of this dict and must not
+#: unlink their parent's segments), unlinked by the atexit guard if a
+#: crash skipped the normal ``finally`` unlink.
+_created_segments: dict[str, int] = {}
 
-def _load_shared(digest: str, blob: bytes) -> object:
-    """Deserialise a shared payload, memoised by content digest.
+#: Worker-side registry of currently attached segments, closed by the
+#: atexit guard if a worker dies between attach and detach.
+_attached_segments: dict[int, object] = {}
 
-    Runs inside worker processes.  The blob bytes still travel with every
-    chunk (``ProcessPoolExecutor`` gives no control over worker affinity),
-    but the expensive ``pickle.loads`` — rebuilding coverage-set polytopes,
-    DAG nodes, numpy arrays — happens at most once per worker per payload.
+
+def shm_transport_enabled() -> bool:
+    """Whether dispatches may publish payloads via POSIX shared memory.
+
+    Requires ``multiprocessing.shared_memory`` on a POSIX host — Windows
+    named mappings are destroyed when the last open handle closes, and
+    the transport deliberately closes the parent's handle right after
+    publishing, so only POSIX shm (which persists until unlink) works.
+    Switched off by setting ``MIRAGE_SHM_DISABLE=1`` in the environment —
+    checked per call, so tests and operators can toggle it without
+    re-importing.
+    """
+    if _shared_memory is None or os.name != "posix":
+        return False
+    return os.environ.get("MIRAGE_SHM_DISABLE", "") in ("", "0")
+
+
+@atexit.register
+def _cleanup_segments() -> None:  # pragma: no cover - exercised at exit
+    """Last-resort guard: unlink created and close attached segments."""
+    pid = os.getpid()
+    for name, owner in list(_created_segments.items()):
+        if owner == pid:
+            _unlink_segment(name)
+    for shm in list(_attached_segments.values()):
+        with contextlib.suppress(Exception):
+            shm.close()
+    _attached_segments.clear()
+
+
+def _attach_segment(name: str):
+    """Attach an existing segment without registering it for tracking.
+
+    Attaching must never make this process responsible for the segment's
+    lifetime: before Python 3.13 (``track=False``), ``SharedMemory``
+    registers even plain attaches with the resource tracker, which would
+    unlink the dispatcher's segment when a worker exits — so the
+    registration is undone explicitly on those versions.
     """
     try:
-        shared = _shared_cache.pop(digest)
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    shm = _shared_memory.SharedMemory(name=name)
+    try:  # pragma: no cover - version-dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    return shm
+
+
+def _unlink_segment(name: str) -> None:
+    """Best-effort unlink of a segment this process created.
+
+    Attaches *with* tracking (unlike worker-side attaches) so the
+    resource tracker's register/unregister bookkeeping stays balanced:
+    the tracked attach re-registers the name that creation registered,
+    and ``unlink`` unregisters it exactly once.
+    """
+    _created_segments.pop(name, None)
+    if _shared_memory is None:
+        return
+    try:
+        shm = _shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    with contextlib.suppress(Exception):
+        shm.close()
+    with contextlib.suppress(FileNotFoundError):
+        shm.unlink()
+
+
+class PayloadHandle:
+    """Transport descriptor of one pickled payload.
+
+    In shared-memory mode only ``segment``/``digest``/``size`` travel with
+    each chunk — O(1) bytes regardless of payload size; in blob mode the
+    pickled ``blob`` itself is attached.  Workers resolve a handle to the
+    deserialised object via :func:`_load_shared`, memoised by ``digest``.
+    """
+
+    __slots__ = ("digest", "size", "segment", "blob")
+
+    def __init__(
+        self,
+        digest: str,
+        size: int,
+        segment: str | None = None,
+        blob: bytes | None = None,
+    ) -> None:
+        self.digest = digest
+        self.size = size
+        self.segment = segment
+        self.blob = blob
+
+    @property
+    def shipped_bytes(self) -> int:
+        """Transport bytes this handle adds to every chunk it rides on."""
+        if self.segment is not None:
+            return len(self.segment) + len(self.digest) + 16
+        return self.size + len(self.digest) + 16
+
+    def fetch(self) -> bytes:
+        """Materialise the pickled payload bytes (worker side)."""
+        if self.segment is None:
+            assert self.blob is not None
+            return self.blob
+        shm = _attach_segment(self.segment)
+        key = id(shm)
+        _attached_segments[key] = shm
+        try:
+            return bytes(shm.buf[: self.size])
+        finally:
+            with contextlib.suppress(Exception):
+                shm.close()
+            _attached_segments.pop(key, None)
+
+    def __getstate__(self) -> tuple:
+        return (self.digest, self.size, self.segment, self.blob)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.digest, self.size, self.segment, self.blob = state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "shm" if self.segment is not None else "blob"
+        return (
+            f"PayloadHandle({mode}, digest={self.digest[:8]}…, "
+            f"size={self.size})"
+        )
+
+
+def _publish_payload(blob: bytes) -> PayloadHandle:
+    """Publish pickled bytes for worker consumption.
+
+    Prefers a named shared-memory segment (transport per chunk drops to
+    O(1) bytes); falls back to shipping the blob inline when the shm
+    transport is disabled, unavailable, or segment creation fails.
+    """
+    digest = hashlib.sha1(blob).hexdigest()
+    if shm_transport_enabled():
+        name = f"{SHM_SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+        try:
+            segment = _shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, len(blob))
+            )
+        except OSError:
+            pass
+        else:
+            _created_segments[name] = os.getpid()
+            try:
+                segment.buf[: len(blob)] = blob
+            finally:
+                segment.close()
+            return PayloadHandle(digest=digest, size=len(blob), segment=name)
+    return PayloadHandle(digest=digest, size=len(blob), blob=blob)
+
+
+def _memoise(key: str, loader: Callable[[], object]) -> object:
+    """LRU-memoise a deserialised payload in this (worker) process."""
+    try:
+        shared = _shared_cache.pop(key)
     except KeyError:
-        shared = pickle.loads(blob)
-    _shared_cache[digest] = shared
+        shared = loader()
+    _shared_cache[key] = shared
     while len(_shared_cache) > _SHARED_CACHE_LIMIT:
         _shared_cache.popitem(last=False)
     return shared
 
 
+def _load_shared(handle: PayloadHandle) -> object:
+    """Deserialise a payload handle, memoised by content digest.
+
+    Runs inside worker processes.  The expensive work — attaching the
+    segment (or receiving the blob) and ``pickle.loads`` rebuilding
+    coverage-set polytopes, DAG nodes, numpy arrays — happens at most
+    once per worker per payload.
+    """
+    return _memoise(handle.digest, lambda: pickle.loads(handle.fetch()))
+
+
+class _AnchorPickler(pickle.Pickler):
+    """Pickler replacing anchor objects with tiny persistent references.
+
+    Payloads of one dispatch session frequently embed the same heavy
+    object (the batch's coverage set, reachable through router factories
+    *and* selection metrics).  Pickling those payloads through this class
+    stores ``(index)`` wherever an anchor object appears, so the anchor
+    bytes exist exactly once — in the session's anchor payload.
+    """
+
+    def __init__(self, buffer: io.BytesIO, anchors: Sequence[object]) -> None:
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._anchor_ids = {id(obj): index for index, obj in enumerate(anchors)}
+
+    def persistent_id(self, obj: object):  # noqa: D102 - pickle hook
+        return self._anchor_ids.get(id(obj))
+
+
+class _AnchorUnpickler(pickle.Unpickler):
+    """Unpickler resolving persistent references against loaded anchors."""
+
+    def __init__(self, buffer: io.BytesIO, anchors: Sequence[object]) -> None:
+        super().__init__(buffer)
+        self._anchors = anchors
+
+    def persistent_load(self, pid):  # noqa: D102 - pickle hook
+        return self._anchors[pid]
+
+
+def _dumps_anchored(payload: object, anchors: Sequence[object]) -> bytes:
+    buffer = io.BytesIO()
+    _AnchorPickler(buffer, anchors).dump(payload)
+    return buffer.getvalue()
+
+
+def _load_anchored(
+    handle: PayloadHandle,
+    anchor_handle: PayloadHandle | None,
+) -> object:
+    """Worker-side load of an anchored payload (memoised by digest pair)."""
+    anchors: Sequence[object] = ()
+    anchor_key = ""
+    if anchor_handle is not None:
+        anchors = _load_shared(anchor_handle)
+        anchor_key = anchor_handle.digest
+
+    def loader() -> object:
+        buffer = io.BytesIO(handle.fetch())
+        return _AnchorUnpickler(buffer, anchors).load()
+
+    return _memoise(f"{anchor_key}:{handle.digest}", loader)
+
+
 def _run_shared_chunk(
-    digest: str,
-    blob: bytes,
+    handle: PayloadHandle,
     fn: Callable[[object, object], object],
     tasks: Sequence[object],
 ) -> list[object]:
     """Evaluate one chunk of light tasks against the memoised payload."""
-    shared = _load_shared(digest, blob)
+    shared = _load_shared(handle)
+    return [fn(shared, task) for task in tasks]
+
+
+def _run_session_chunk(
+    anchor_handle: PayloadHandle | None,
+    payload_handle: PayloadHandle,
+    fn: Callable[[object, object], object],
+    tasks: Sequence[object],
+) -> list[object]:
+    """Evaluate one streamed chunk against its anchored payload."""
+    shared = _load_anchored(payload_handle, anchor_handle)
+    return [fn(shared, task) for task in tasks]
+
+
+def _run_local_chunk(
+    fn: Callable[[object, object], object],
+    shared: object,
+    tasks: Sequence[object],
+) -> list[object]:
+    """In-process chunk evaluation for serial/thread dispatch sessions."""
     return [fn(shared, task) for task in tasks]
 
 
 def _chunk(tasks: Sequence[_Task], size: int) -> Iterator[Sequence[_Task]]:
     for start in range(0, len(tasks), size):
         yield tasks[start:start + size]
+
+
+class DispatchSession:
+    """Incremental shared-payload dispatch onto one executor.
+
+    A session is the streaming counterpart of
+    :meth:`TrialExecutor.map_shared`: heavy payloads are registered one
+    at a time (:meth:`add_payload`), light task chunks are submitted
+    against a registered payload (:meth:`submit`, returning one future
+    per chunk whose result is the list of that chunk's outputs, in task
+    order), and :meth:`close` releases every transport resource once all
+    futures have drained.  Use it as a context manager so segments are
+    unlinked even when a worker raises.
+    """
+
+    def __init__(self, fn: Callable[[Any, Any], Any]) -> None:
+        self.fn = fn
+        self._futures: list[concurrent.futures.Future] = []
+        self._closed = False
+
+    def add_payload(self, payload: object) -> int:
+        """Register a heavy payload; returns its slot for :meth:`submit`."""
+        raise NotImplementedError
+
+    def submit(
+        self, slot: int, tasks: Sequence[object]
+    ) -> list[concurrent.futures.Future]:
+        """Dispatch ``tasks`` against payload ``slot`` as chunked futures."""
+        raise NotImplementedError
+
+    def release(self, slot: int) -> None:
+        """Drop payload ``slot``'s resources once its futures have drained.
+
+        Callers must have collected every future submitted against the
+        slot first; streaming drivers call this per circuit so a long
+        batch holds only a bounded number of payloads (and shared-memory
+        segments) at any moment, rather than all of them until
+        :meth:`close`.  Releasing a slot twice is a no-op.
+        """
+
+    def outstanding(self) -> int:
+        """Number of submitted chunk futures that have not completed."""
+        self._futures = [f for f in self._futures if not f.done()]
+        return len(self._futures)
+
+    def close(self) -> None:
+        """Wait for in-flight futures and release transport resources."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._futures:
+            concurrent.futures.wait(self._futures)
+            self._futures = []
+
+    def __enter__(self) -> "DispatchSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _LocalDispatchSession(DispatchSession):
+    """Shared slot bookkeeping for sessions that never serialise payloads."""
+
+    def __init__(
+        self, executor: "TrialExecutor", fn: Callable[[Any, Any], Any]
+    ) -> None:
+        super().__init__(fn)
+        self._executor = executor
+        self._payloads: list[object] = []
+
+    def add_payload(self, payload: object) -> int:
+        self._payloads.append(payload)
+        return len(self._payloads) - 1
+
+    def release(self, slot: int) -> None:
+        self._payloads[slot] = None
+
+
+class _InlineDispatchSession(_LocalDispatchSession):
+    """Serial session: chunks run at submit time, futures are pre-resolved."""
+
+    def submit(
+        self, slot: int, tasks: Sequence[object]
+    ) -> list[concurrent.futures.Future]:
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            future.set_result(
+                _run_local_chunk(self.fn, self._payloads[slot], tasks)
+            )
+        except BaseException as error:  # noqa: BLE001 - mirror pool futures
+            future.set_exception(error)
+        self._executor._count_dispatch(chunks=1, tasks=len(tasks))
+        return [future]
+
+
+class _ThreadDispatchSession(_LocalDispatchSession):
+    """Thread-pool session: chunks close over the payload, no serialisation."""
+
+    def submit(
+        self, slot: int, tasks: Sequence[object]
+    ) -> list[concurrent.futures.Future]:
+        pool = self._executor._ensure_pool()
+        batch = list(tasks)
+        workers = self._executor.max_workers or os.cpu_count() or 1
+        size = max(1, math.ceil(len(batch) / workers))
+        futures = [
+            pool.submit(_run_local_chunk, self.fn, self._payloads[slot], chunk)
+            for chunk in _chunk(batch, size)
+        ]
+        self._futures.extend(futures)
+        self._executor._count_dispatch(chunks=len(futures), tasks=len(batch))
+        return futures
+
+
+class _ShmDispatchSession(DispatchSession):
+    """Process-pool session over shared-memory payload segments.
+
+    Anchor objects are pickled once into one segment; every payload added
+    later is pickled with persistent references to them, so the batch's
+    coverage set crosses the process boundary exactly once.  Chunks carry
+    only the two :class:`PayloadHandle` descriptors — O(1) transport.
+
+    Segment creation failing *mid-session* (shm pressure appearing after
+    the open-time probe passed) degrades that one payload to inline-blob
+    shipping — correct, observable via ``bytes_shipped``, and bounded to
+    the few chunks of the affected circuit.
+    """
+
+    def __init__(
+        self,
+        executor: "ProcessExecutor",
+        fn: Callable[[Any, Any], Any],
+        anchors: Sequence[object] = (),
+    ) -> None:
+        super().__init__(fn)
+        self._executor = executor
+        self._anchors = tuple(anchors)
+        self._handles: list[PayloadHandle | None] = []
+        self._segments: list[str] = []
+        self._anchor_handle: PayloadHandle | None = None
+        if self._anchors:
+            blob = pickle.dumps(
+                self._anchors, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._anchor_handle = self._record(blob)
+            executor._count_dispatch(shared_pickles=1)
+
+    def _record(self, blob: bytes) -> PayloadHandle:
+        handle = _publish_payload(blob)
+        if handle.segment is not None:
+            self._segments.append(handle.segment)
+            self._executor._count_dispatch(shm_segments=1)
+        return handle
+
+    def add_payload(self, payload: object) -> int:
+        handle = self._record(_dumps_anchored(payload, self._anchors))
+        self._handles.append(handle)
+        self._executor._count_dispatch(payload_pickles=1)
+        return len(self._handles) - 1
+
+    def release(self, slot: int) -> None:
+        handle = self._handles[slot]
+        if handle is None:
+            return
+        self._handles[slot] = None
+        if handle.segment is not None:
+            with contextlib.suppress(ValueError):
+                self._segments.remove(handle.segment)
+            _unlink_segment(handle.segment)
+
+    def submit(
+        self, slot: int, tasks: Sequence[object]
+    ) -> list[concurrent.futures.Future]:
+        pool = self._executor._ensure_pool()
+        batch = list(tasks)
+        handle = self._handles[slot]
+        workers = self._executor.max_workers or os.cpu_count() or 1
+        size = max(1, math.ceil(len(batch) / (workers * CHUNKS_PER_WORKER)))
+        futures = [
+            pool.submit(
+                _run_session_chunk, self._anchor_handle, handle, self.fn, chunk
+            )
+            for chunk in _chunk(batch, size)
+        ]
+        self._futures.extend(futures)
+        shipped = handle.shipped_bytes + (
+            self._anchor_handle.shipped_bytes if self._anchor_handle else 0
+        )
+        self._executor._count_dispatch(
+            chunks=len(futures),
+            tasks=len(batch),
+            bytes_shipped=shipped * len(futures),
+        )
+        return futures
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            super().close()
+        finally:
+            while self._segments:
+                _unlink_segment(self._segments.pop())
 
 
 class TrialExecutor:
@@ -122,7 +616,12 @@ class TrialExecutor:
 
     def __init__(self) -> None:
         self.dispatch_stats: dict[str, int] = {
-            "shared_pickles": 0, "chunks": 0, "tasks": 0,
+            "shared_pickles": 0,
+            "payload_pickles": 0,
+            "chunks": 0,
+            "tasks": 0,
+            "shm_segments": 0,
+            "bytes_shipped": 0,
         }
 
     def map(
@@ -148,15 +647,40 @@ class TrialExecutor:
         payload once per call instead of once per task.
         """
         batch = list(tasks)
-        self._count_dispatch(shared_pickles=0, chunks=1, tasks=len(batch))
+        self._count_dispatch(chunks=1, tasks=len(batch))
         return self.map(functools.partial(fn, shared), batch)
 
+    def open_dispatch(
+        self,
+        fn: Callable[[_Shared, _Task], _Result],
+        anchors: Sequence[object] = (),
+    ) -> DispatchSession | None:
+        """Open a streaming :class:`DispatchSession` for ``fn``.
+
+        ``anchors`` are heavy objects shared by many payloads (the batch's
+        coverage set); transports that serialise payloads ship each anchor
+        exactly once.  Returns ``None`` when this executor cannot stream
+        efficiently (the process pool without a shared-memory transport),
+        in which case callers should fall back to :meth:`map_shared`.
+        """
+        return _InlineDispatchSession(self, fn)
+
     def _count_dispatch(
-        self, *, shared_pickles: int, chunks: int, tasks: int
+        self,
+        *,
+        shared_pickles: int = 0,
+        payload_pickles: int = 0,
+        chunks: int = 0,
+        tasks: int = 0,
+        shm_segments: int = 0,
+        bytes_shipped: int = 0,
     ) -> None:
         self.dispatch_stats["shared_pickles"] += shared_pickles
+        self.dispatch_stats["payload_pickles"] += payload_pickles
         self.dispatch_stats["chunks"] += chunks
         self.dispatch_stats["tasks"] += tasks
+        self.dispatch_stats["shm_segments"] += shm_segments
+        self.dispatch_stats["bytes_shipped"] += bytes_shipped
 
     def close(self) -> None:
         """Release any worker resources.  Idempotent."""
@@ -197,6 +721,11 @@ class _PoolExecutor(TrialExecutor):
     def _make_pool(self) -> concurrent.futures.Executor:
         raise NotImplementedError
 
+    def _ensure_pool(self) -> concurrent.futures.Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
     def map(
         self,
         fn: Callable[[_Task], _Result],
@@ -206,14 +735,13 @@ class _PoolExecutor(TrialExecutor):
         if len(batch) <= 1:
             # Not worth dispatching (and keeps single-trial runs pool-free).
             return [fn(task) for task in batch]
-        if self._pool is None:
-            self._pool = self._make_pool()
+        pool = self._ensure_pool()
         # Chunked dispatch lets pickle memoise objects shared between the
         # tasks of a chunk (DAGs, coverage sets) instead of re-serialising
         # them once per task; harmless for the thread pool.
         workers = self.max_workers or os.cpu_count() or 1
         chunksize = max(1, math.ceil(len(batch) / workers))
-        return list(self._pool.map(fn, batch, chunksize=chunksize))
+        return list(pool.map(fn, batch, chunksize=chunksize))
 
     def close(self) -> None:
         if self._pool is not None:
@@ -234,6 +762,13 @@ class ThreadExecutor(_PoolExecutor):
             max_workers=self.max_workers, thread_name_prefix="repro-trial"
         )
 
+    def open_dispatch(
+        self,
+        fn: Callable[[_Shared, _Task], _Result],
+        anchors: Sequence[object] = (),
+    ) -> DispatchSession | None:
+        return _ThreadDispatchSession(self, fn)
+
 
 class ProcessExecutor(_PoolExecutor):
     """Evaluate trials on a process pool.
@@ -243,8 +778,10 @@ class ProcessExecutor(_PoolExecutor):
     and :class:`repro.transpiler.passes.TrialTask` satisfy both.
 
     :meth:`map_shared` is the preferred entry point for trial batches: it
-    pickles the shared payload exactly once per call, ships it once per
-    chunk, and workers memoise deserialisation by content digest.
+    pickles the shared payload exactly once per call, publishes it via a
+    shared-memory segment when available (chunks then carry an O(1)
+    handle instead of the payload bytes) or ships the blob once per chunk
+    otherwise, and workers memoise deserialisation by content digest.
     """
 
     name = "processes"
@@ -262,36 +799,73 @@ class ProcessExecutor(_PoolExecutor):
     ) -> list[_Result]:
         """Chunked shared-payload dispatch across worker processes.
 
-        The shared payload is serialised once in the parent; the light
-        tasks are split into ``~CHUNKS_PER_WORKER`` chunks per worker and
-        submitted as individual futures, so idle workers keep pulling
-        chunks (work stealing by queue) while slow ones finish.  Results
-        are reassembled in input order regardless of completion order.
+        The shared payload is serialised once in the parent and published
+        through :func:`_publish_payload`; the light tasks are split into
+        ``~CHUNKS_PER_WORKER`` chunks per worker and submitted as
+        individual futures, so idle workers keep pulling chunks (work
+        stealing by queue) while slow ones finish.  Results are
+        reassembled in input order regardless of completion order, and
+        any shared-memory segment is unlinked — worker exceptions
+        included — once every chunk has settled.
         """
         batch: Sequence[_Task] = list(tasks)
         if len(batch) <= 1:
             # Not worth a round-trip (keeps single-trial runs pool-free).
-            self._count_dispatch(
-                shared_pickles=0, chunks=len(batch), tasks=len(batch)
-            )
+            self._count_dispatch(chunks=len(batch), tasks=len(batch))
             return [fn(shared, task) for task in batch]
-        if self._pool is None:
-            self._pool = self._make_pool()
+        pool = self._ensure_pool()
         blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
-        digest = hashlib.sha1(blob).hexdigest()
+        handle = _publish_payload(blob)
         workers = self.max_workers or os.cpu_count() or 1
         size = max(1, math.ceil(len(batch) / (workers * CHUNKS_PER_WORKER)))
-        futures = [
-            self._pool.submit(_run_shared_chunk, digest, blob, fn, chunk)
-            for chunk in _chunk(batch, size)
-        ]
-        self._count_dispatch(
-            shared_pickles=1, chunks=len(futures), tasks=len(batch)
-        )
-        results: list[_Result] = []
-        for future in futures:
-            results.extend(future.result())
-        return results
+        try:
+            futures = [
+                pool.submit(_run_shared_chunk, handle, fn, chunk)
+                for chunk in _chunk(batch, size)
+            ]
+            self._count_dispatch(
+                shared_pickles=1,
+                chunks=len(futures),
+                tasks=len(batch),
+                shm_segments=1 if handle.segment is not None else 0,
+                bytes_shipped=handle.shipped_bytes * len(futures),
+            )
+            results: list[_Result] = []
+            try:
+                for future in futures:
+                    results.extend(future.result())
+            finally:
+                # A raising chunk must not unlink the segment while other
+                # chunks may still be about to attach it.
+                concurrent.futures.wait(futures)
+            return results
+        finally:
+            if handle.segment is not None:
+                _unlink_segment(handle.segment)
+
+    def open_dispatch(
+        self,
+        fn: Callable[[_Shared, _Task], _Result],
+        anchors: Sequence[object] = (),
+    ) -> DispatchSession | None:
+        """Open a shared-memory streaming session, or ``None`` without shm.
+
+        Streaming across a process boundary without shared memory would
+        re-ship each payload blob with every chunk — strictly worse than
+        the barrier :meth:`map_shared` path — so the caller is told to
+        fall back instead.  The anchor publication doubles as a probe:
+        if segment creation fails even though the transport is nominally
+        enabled (e.g. an exhausted ``/dev/shm``), the session is torn
+        down and the caller falls back too, rather than silently
+        streaming blobs.
+        """
+        if not shm_transport_enabled():
+            return None
+        session = _ShmDispatchSession(self, fn, anchors)
+        if anchors and session._anchor_handle.segment is None:
+            session.close()
+            return None
+        return session
 
 
 #: Registry of executor names accepted by :func:`resolve_executor` (and by

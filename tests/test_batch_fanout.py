@@ -153,12 +153,14 @@ def test_circuit_fanout_reports_and_provenance():
 # ---------------------------------------------------------------------------
 
 
-def test_process_fanout_pickles_coverage_once(monkeypatch):
+@pytest.mark.parametrize("scheduler", ["stream", "barrier"])
+def test_process_fanout_pickles_coverage_once(monkeypatch, scheduler):
     """One batch dispatch must serialise the coverage set exactly once.
 
     Before the shared-payload dispatch, process-pool trials re-pickled
     the coverage set (inside the router factory / metric) once per chunk
-    of every circuit; the batch engine now ships one blob per batch.
+    of every circuit; the barrier engine serialises it once inside the
+    pooled spec tuple, the streaming engine once as the session anchor.
     """
     calls = {"count": 0}
     original = CoverageSet.__getstate__
@@ -169,7 +171,7 @@ def test_process_fanout_pickles_coverage_once(monkeypatch):
 
     monkeypatch.setattr(CoverageSet, "__getstate__", counting_getstate)
     with ProcessExecutor(max_workers=2) as executor:
-        fanned = _batch("circuits", executor=executor)
+        fanned = _batch("circuits", executor=executor, scheduler=scheduler)
     assert fanned.dispatch["shared_pickles"] == 1
     assert calls["count"] == 1
     assert fanned.dispatch["chunks"] >= 1

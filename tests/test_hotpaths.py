@@ -156,6 +156,65 @@ def test_weyl_many_shape_validation():
     assert weyl_coordinates_many(np.zeros((0, 4, 4))).shape == (0, 3)
 
 
+def test_weyl_many_stacked_rounding_matches_exact():
+    """The fully stacked extraction agrees with the bit-exact default.
+
+    ``exact_scalar_rounding=False`` replaces the per-row scalar Makhlin
+    divisions with one complex array division; the candidate values the
+    targets select among are identical in both modes, so the chosen
+    coordinates must stay within one ulp — and, the match tolerance
+    being ~1e-6, equal in practice.
+    """
+    from repro.weyl.canonical import canonical_gate
+
+    rng = np.random.default_rng(31)
+    unitaries = np.stack(
+        [haar_unitary(4, rng) for _ in range(80)]
+        + [
+            np.eye(4, dtype=complex),
+            canonical_gate(PI4, 0.0, 0.0),
+            canonical_gate(PI4, PI4, PI4),
+        ]
+    )
+    exact = weyl_coordinates_many(unitaries)
+    stacked = weyl_coordinates_many(unitaries, exact_scalar_rounding=False)
+    ulp = np.spacing(np.maximum(np.abs(exact), 1.0))
+    assert np.all(np.abs(exact - stacked) <= ulp)
+
+
+def test_weyl_stacked_rounding_targets_within_one_ulp():
+    """The array-division Makhlin targets drift by at most one ulp.
+
+    This pins the *reason* ``exact_scalar_rounding`` exists: numpy's
+    complex array-division ufunc and scalar complex division may round
+    the invariant targets differently, but never by more than one ulp —
+    ten orders of magnitude inside the 1e-6 candidate-match tolerance.
+    """
+    from repro.linalg.constants import MAGIC, MAGIC_DAG
+
+    rng = np.random.default_rng(37)
+    stack = np.stack([haar_unitary(4, rng) for _ in range(200)])
+    determinants = np.linalg.det(stack)
+    um = MAGIC_DAG @ stack @ MAGIC
+    gamma = np.transpose(um, (0, 2, 1)) @ um
+    traces = np.trace(gamma, axis1=1, axis2=2)
+    traces_sq = np.trace(gamma @ gamma, axis1=1, axis2=2)
+
+    g12_array = traces**2 / (16 * determinants)
+    g3_array = (traces**2 - traces_sq) / (4 * determinants)
+    for index in range(len(stack)):
+        g12 = traces[index] ** 2 / (16 * determinants[index])
+        g3 = (
+            traces[index] ** 2 - traces_sq[index]
+        ) / (4 * determinants[index])
+        for scalar, stacked in (
+            (g12.real, g12_array[index].real),
+            (g12.imag, g12_array[index].imag),
+            (g3.real, g3_array[index].real),
+        ):
+            assert abs(scalar - stacked) <= np.spacing(max(abs(scalar), 1.0))
+
+
 # -- batched coverage queries ------------------------------------------------
 
 

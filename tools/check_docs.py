@@ -47,6 +47,10 @@ PUBLIC_API = [
     ("repro.weyl.coordinates", "weyl_coordinates_many"),
     ("repro.transpiler.executors", "TrialExecutor.map"),
     ("repro.transpiler.executors", "TrialExecutor.map_shared"),
+    ("repro.transpiler.executors", "TrialExecutor.open_dispatch"),
+    ("repro.transpiler.executors", "DispatchSession"),
+    ("repro.transpiler.executors", "PayloadHandle"),
+    ("repro.transpiler.executors", "shm_transport_enabled"),
     ("repro.transpiler.passes.sabre_layout", "run_trial"),
 ]
 
