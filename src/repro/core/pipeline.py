@@ -18,10 +18,12 @@ shares one coverage set and one trial executor across a whole batch.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
 from repro.exceptions import TranspilerError
+from repro.circuits.circuit import QuantumCircuit
 from repro.core.aggression import Aggression, schedule_from_spec
 from repro.core.mirage_pass import MirageSwap
 from repro.core.results import TranspileResult
@@ -274,6 +276,11 @@ class PlanTrialsPass(RoutingPass):
     that :class:`RoutingPass` would have dispatched, then parks them in
     the property set as a :class:`TrialPlan` so the batch scheduler can
     pool every circuit's trials into one shared dispatch.
+
+    The parked spec defers its reverse DAG: trial runners derive it on
+    first use (memoised per worker process), so the planning thread never
+    builds it and the dispatch never ships it — byte-identical results,
+    half the DAG payload.
     """
 
     name = "plan"
@@ -281,7 +288,7 @@ class PlanTrialsPass(RoutingPass):
     def run(self, state: PipelineState) -> None:
         driver = self.build_driver(state)
         state.properties["trial_plan"] = TrialPlan(
-            spec=driver.trial_spec(state.circuit.to_dag()),
+            spec=driver.trial_spec(state.circuit.to_dag(), defer_reverse=True),
             refs=tuple(driver.trial_refs()),
             method=self.method,
             selection=self.selection,
@@ -476,6 +483,83 @@ def build_batch_front_pipeline(
         )
     )
     return manager
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanSpec:
+    """The heavy, circuit-invariant half of executor-side planning.
+
+    One :class:`PlanSpec` is shared by every planning task of a batch —
+    it carries the pipeline parameters plus the batch's coverage set
+    (which streaming transports replace with an anchor reference, so the
+    spec itself is tiny on the wire).  Workers rebuild the exact front
+    pipeline :func:`build_batch_front_pipeline` would build locally.
+    """
+
+    coupling: "CouplingMap | str"
+    basis: str
+    method: str
+    selection: str
+    aggression: object
+    layout_trials: int
+    refinement_rounds: int
+    routing_trials: int
+    coverage: CoverageSet
+    use_vf2: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanTask:
+    """The light, per-circuit half of executor-side planning."""
+
+    index: int
+    circuit: "QuantumCircuit"
+    seed: np.random.SeedSequence
+
+
+@dataclasses.dataclass
+class PlanOutcome:
+    """Planned pipeline state of one circuit, plus its planning seconds.
+
+    ``index`` echoes the :class:`PlanTask`'s batch position so the
+    scheduler can assert that plans are admitted in input order — the
+    ordering byte-identity depends on.
+    """
+
+    state: PipelineState
+    seconds: float
+    index: int
+
+
+def run_plan(spec: PlanSpec, task: PlanTask) -> PlanOutcome:
+    """Run one circuit's front pipeline (module-level for picklability).
+
+    Executes ``clean → unroll → reclean → consolidate → coupling →
+    coverage → analyze → vf2 → plan`` for ``task.circuit`` with the
+    batch parameters of ``spec`` — exactly the pipeline the local
+    planner builds, seeded with the same per-circuit ``SeedSequence`` —
+    and returns the full planned :class:`PipelineState`.  Determinism of
+    every front stage makes the outcome byte-identical no matter which
+    process ran it.
+    """
+    start = time.perf_counter()
+    front = build_batch_front_pipeline(
+        spec.coupling,
+        basis=spec.basis,
+        method=spec.method,
+        selection=spec.selection,
+        aggression=spec.aggression,
+        layout_trials=spec.layout_trials,
+        refinement_rounds=spec.refinement_rounds,
+        routing_trials=spec.routing_trials,
+        coverage=spec.coverage,
+        use_vf2=spec.use_vf2,
+        seed=task.seed,
+    )
+    state = front.execute(task.circuit)
+    return PlanOutcome(
+        state=state, seconds=time.perf_counter() - start, index=task.index
+    )
 
 
 def build_batch_back_pipeline() -> PassManager:

@@ -147,17 +147,28 @@ class BatchResult:
         Provenance counters of the shared dispatch accumulated on the
         executor during this batch: ``shared_pickles`` (heavy payload /
         anchor serialisations), ``payload_pickles`` (per-circuit spec
-        serialisations under the streaming scheduler), ``chunks``,
-        ``tasks``, ``shm_segments`` (shared-memory segments published —
-        0 when the transport is disabled or unavailable) and
-        ``bytes_shipped`` (payload-transport bytes attached to chunks —
-        O(1) per chunk in shared-memory mode, one blob per chunk
-        otherwise), plus ``circuits`` and ``routed`` counts.  Under
-        circuit-level fan-out it also records ``scheduler`` (``"stream"``
-        or ``"barrier"`` — the mode actually used, after any fallback)
-        and ``overlap_seconds`` (planning/selection wall-clock performed
-        while dispatched trials were still in flight; 0 under the
-        barrier scheduler).  ``None`` when unavailable (e.g. results
+        serialisations under the streaming scheduler), ``plan_payloads``
+        (shared planning-spec serialisations under executor-side
+        planning), ``chunks``, ``tasks``, ``plan_tasks`` (front
+        pipelines run as executor tasks), ``shm_segments``
+        (shared-memory segments published — 0 when the transport is
+        disabled or unavailable), ``bytes_shipped`` (payload-transport
+        bytes attached to chunks — O(1) per chunk in shared-memory mode,
+        one blob per chunk otherwise), ``header_bytes`` (zero-copy index
+        headers published; 0 when ``MIRAGE_ZEROCOPY_DISABLE=1``) and
+        ``bytes_copied`` (payload bytes workers materialised before
+        unpickling — bounded by the index headers when the zero-copy
+        layout is active, whole payloads otherwise), plus ``circuits``
+        and ``routed`` counts.  Under circuit-level fan-out it also
+        records ``scheduler`` (``"stream"`` or ``"barrier"`` — the mode
+        actually used, after any fallback), ``overlap_seconds``
+        (planning/selection wall-clock performed while dispatched trials
+        were still in flight; 0 under the barrier scheduler),
+        ``plan_mode`` (``"local"`` or ``"executor"`` — where front
+        pipelines actually ran, after ``"auto"`` resolution and any
+        fallback) and ``plan_seconds`` (summed front-pipeline seconds —
+        producer-thread time under local planning, worker time under
+        executor planning).  ``None`` when unavailable (e.g. results
         predating this field).
     """
 

@@ -26,6 +26,7 @@ serially, on a thread pool or on a process pool.
 from __future__ import annotations
 
 import collections
+import concurrent.futures
 import dataclasses
 import os
 import time
@@ -36,10 +37,12 @@ import numpy as np
 from repro.exceptions import TranspilerError
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.pipeline import (
+    PlanSpec,
+    PlanTask,
     build_batch_back_pipeline,
-    build_batch_front_pipeline,
     build_mirage_pipeline,
     build_prepare_pipeline,
+    run_plan,
     validate_flow,
 )
 from repro.core.results import BatchResult, TranspileResult
@@ -71,6 +74,17 @@ SCHEDULER_MODES = {
     "stream": "stream",
     "overlap": "stream",
     "barrier": "barrier",
+}
+
+#: Planning placement modes accepted by :func:`transpile_many` under the
+#: streaming scheduler.  ``"local"`` plans circuits on the dispatching
+#: thread; ``"executor"`` runs each circuit's front pipeline as a task on
+#: the trial executor; ``"auto"`` picks ``"executor"`` whenever the
+#: dispatch session executes concurrently with the producer.
+PLAN_MODES = {
+    "auto": "auto",
+    "local": "local",
+    "executor": "executor",
 }
 
 #: Lower bound on the streaming scheduler's in-flight circuit window.
@@ -220,6 +234,34 @@ def _resolve_scheduler(scheduler: str) -> str:
     return "stream" if mode == "auto" else mode
 
 
+def _resolve_plan(plan: str) -> str:
+    """Validate a planning-mode specification (``"auto"`` stays ``"auto"``).
+
+    The final local/executor decision needs the dispatch session in hand
+    (see :func:`_effective_plan_mode`); this only catches typos early.
+    """
+    try:
+        return PLAN_MODES[plan.lower()]
+    except (KeyError, AttributeError):
+        known = ", ".join(sorted(set(PLAN_MODES)))
+        raise TranspilerError(
+            f"unknown plan mode {plan!r} (known: {known})"
+        ) from None
+
+
+def _effective_plan_mode(plan: str, session) -> str:
+    """Pick where planning runs, given the opened dispatch session.
+
+    ``"auto"`` chooses executor-side planning exactly when the session
+    executes submitted chunks concurrently with the producer (thread and
+    shared-memory process sessions) — planning on an inline session would
+    just add indirection.  An explicit choice is honoured as-is.
+    """
+    if plan != "auto":
+        return plan
+    return "executor" if getattr(session, "parallel", False) else "local"
+
+
 def _stream_window(trial_executor: TrialExecutor) -> int:
     """In-flight circuit bound for the streaming scheduler.
 
@@ -283,58 +325,72 @@ def _run_circuit_fanout(
     circuit_seeds: Sequence[np.random.SeedSequence],
     trial_executor: TrialExecutor,
     scheduler: str = "stream",
+    plan: str = "auto",
 ) -> tuple[list[TranspileResult], dict]:
     """Two-level circuit fan-out under the requested scheduler.
 
     Both schedulers plan each circuit with the same front pipeline
     (clean → … → vf2 → plan) and spawn per-circuit seeds and per-trial
     streams exactly as the sequential mode spawns them, so fixed-seed
-    outputs are byte-identical across schedulers, fan-out modes and
-    executors; only the wall-clock profile differs:
+    outputs are byte-identical across schedulers, plan modes, fan-out
+    modes and executors; only the wall-clock profile differs:
 
     * ``"stream"`` — a bounded producer plans circuits and feeds their
       trial refs into an in-flight :class:`DispatchSession`, while
       circuits whose trials have drained resume (route + select)
       immediately, so planning, trial execution and selection overlap.
-      Falls back to the barrier engine when the executor cannot stream
-      (process pool without a shared-memory transport).
-    * ``"barrier"`` — three phases: plan **all** circuits, pool every
-      planned trial into one shared :meth:`map_shared` dispatch, then
-      finish all circuits.
+      Under ``plan="executor"`` (the ``"auto"`` choice on concurrent
+      sessions) the front pipelines themselves run as tasks on the same
+      session, spreading phase-A planning across all cores.  Falls back
+      to the barrier engine when the executor cannot stream (process
+      pool without a shared-memory transport).
+    * ``"barrier"`` — three phases: plan **all** circuits (always
+      locally), pool every planned trial into one shared
+      :meth:`map_shared` dispatch, then finish all circuits.
     """
+    # Local and executor-side planning run the *same* module-level
+    # :func:`run_plan` over the same :class:`PlanSpec` — divergence
+    # between the modes is impossible by construction.
+    plan_spec = PlanSpec(
+        coupling=coupling,
+        basis=basis,
+        method=method,
+        selection=selection,
+        aggression=aggression,
+        layout_trials=layout_trials,
+        refinement_rounds=refinement_rounds,
+        routing_trials=routing_trials,
+        coverage=coverage,
+        use_vf2=use_vf2,
+    )
 
-    def plan(circuit, circuit_seed):
-        front = build_batch_front_pipeline(
-            coupling,
-            basis=basis,
-            method=method,
-            selection=selection,
-            aggression=aggression,
-            layout_trials=layout_trials,
-            refinement_rounds=refinement_rounds,
-            routing_trials=routing_trials,
-            coverage=coverage,
-            use_vf2=use_vf2,
-            seed=circuit_seed,
+    def plan_front(index, circuit, circuit_seed):
+        return run_plan(
+            plan_spec,
+            PlanTask(index=index, circuit=circuit, seed=circuit_seed),
         )
-        return front.execute(circuit)
 
     stats_before = dict(trial_executor.dispatch_stats)
     if scheduler == "stream":
         session = trial_executor.open_dispatch(run_trial, anchors=(coverage,))
         if session is not None:
+            if _effective_plan_mode(plan, session) == "executor":
+                return _stream_executor_plan_fanout(
+                    batch, plan_spec, circuit_seeds, trial_executor, session,
+                    stats_before,
+                )
             return _stream_circuit_fanout(
-                batch, plan, circuit_seeds, trial_executor, session,
+                batch, plan_front, circuit_seeds, trial_executor, session,
                 stats_before,
             )
     return _barrier_circuit_fanout(
-        batch, plan, circuit_seeds, trial_executor, stats_before
+        batch, plan_front, circuit_seeds, trial_executor, stats_before
     )
 
 
 def _barrier_circuit_fanout(
     batch: list[QuantumCircuit],
-    plan,
+    plan_front,
     circuit_seeds: Sequence[np.random.SeedSequence],
     trial_executor: TrialExecutor,
     stats_before: dict[str, int],
@@ -349,10 +405,10 @@ def _barrier_circuit_fanout(
     """
     states: list[PipelineState] = []
     front_seconds: list[float] = []
-    for circuit, circuit_seed in zip(batch, circuit_seeds):
-        front_start = time.perf_counter()
-        states.append(plan(circuit, circuit_seed))
-        front_seconds.append(time.perf_counter() - front_start)
+    for index, (circuit, circuit_seed) in enumerate(zip(batch, circuit_seeds)):
+        outcome = plan_front(index, circuit, circuit_seed)
+        states.append(outcome.state)
+        front_seconds.append(outcome.seconds)
 
     # Pool the trials of every still-unrouted circuit.  Specs are indexed
     # by *pool* position (VF2-embedded circuits contribute none); pickle's
@@ -395,6 +451,8 @@ def _barrier_circuit_fanout(
     )
     dispatch["scheduler"] = "barrier"
     dispatch["overlap_seconds"] = 0.0
+    dispatch["plan_mode"] = "local"
+    dispatch["plan_seconds"] = round(sum(front_seconds), 6)
     return results, dispatch
 
 
@@ -408,15 +466,88 @@ class _StreamEntry:
     slot: int = -1
 
 
+class _StreamDrain:
+    """Shared resume machinery of the streaming schedulers.
+
+    Both streaming engines (local and executor-side planning) park
+    planned circuits here and resume the *oldest* one as soon as its
+    trial futures drain — keeping the slot-release, outcome-reassembly
+    and overlap accounting in one place so the engines cannot diverge.
+    """
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.results: list[TranspileResult] = []
+        self.overlap = 0.0
+        self.plan_seconds = 0.0
+        self.routed = 0
+        self.pending: collections.deque[_StreamEntry] = collections.deque()
+
+    def park(self, state: PipelineState, front_seconds: float) -> None:
+        """Dispatch a planned circuit's trials and queue it for resume."""
+        self.plan_seconds += front_seconds
+        trial_plan = state.properties.get("trial_plan")
+        futures: list = []
+        slot = -1
+        if trial_plan is not None:
+            slot = self.session.add_payload(trial_plan.spec)
+            futures = self.session.submit(slot, trial_plan.refs)
+            self.routed += 1
+        self.pending.append(_StreamEntry(state, front_seconds, futures, slot))
+
+    def finish_oldest(self) -> None:
+        """Resume the oldest parked circuit (blocks on its futures)."""
+        entry = self.pending.popleft()
+        if entry.futures:
+            # May block until this circuit's chunks complete — idle wait,
+            # deliberately excluded from the overlap metric below.
+            entry.state.properties["trial_outcomes"] = [
+                outcome
+                for future in entry.futures
+                for outcome in future.result()
+            ]
+            self.session.release(entry.slot)
+        start = time.perf_counter()
+        self.results.append(
+            _finish_batch_state(entry.state, entry.front_seconds)
+        )
+        if self.session.outstanding():
+            self.overlap += time.perf_counter() - start
+
+    def finish_drained(self) -> bool:
+        """Resume every leading circuit whose trials have all completed."""
+        progressed = False
+        while self.pending and all(f.done() for f in self.pending[0].futures):
+            self.finish_oldest()
+            progressed = True
+        return progressed
+
+    def provenance(
+        self,
+        trial_executor: TrialExecutor,
+        stats_before: dict[str, int],
+        circuits: int,
+        plan_mode: str,
+    ) -> dict:
+        dispatch = _dispatch_provenance(
+            trial_executor, stats_before, circuits=circuits, routed=self.routed
+        )
+        dispatch["scheduler"] = "stream"
+        dispatch["overlap_seconds"] = round(self.overlap, 6)
+        dispatch["plan_mode"] = plan_mode
+        dispatch["plan_seconds"] = round(self.plan_seconds, 6)
+        return dispatch
+
+
 def _stream_circuit_fanout(
     batch: list[QuantumCircuit],
-    plan,
+    plan_front,
     circuit_seeds: Sequence[np.random.SeedSequence],
     trial_executor: TrialExecutor,
     session,
     stats_before: dict[str, int],
 ) -> tuple[list[TranspileResult], dict]:
-    """Streaming overlap scheduler: plan, dispatch and finish concurrently.
+    """Streaming overlap scheduler with local (producer-thread) planning.
 
     The producer plans circuits one at a time and immediately feeds each
     circuit's trial refs into the in-flight dispatch session; whenever
@@ -432,63 +563,136 @@ def _stream_circuit_fanout(
     flight — the wall-clock the barrier scheduler would have serialised.
     """
     window = _stream_window(trial_executor)
-    overlap = 0.0
-    routed = 0
-    results: list[TranspileResult] = []
-    pending: collections.deque[_StreamEntry] = collections.deque()
-
-    def finish(entry: _StreamEntry) -> None:
-        nonlocal overlap
-        if entry.futures:
-            # May block until this circuit's chunks complete — idle wait,
-            # deliberately excluded from the overlap metric below.
-            entry.state.properties["trial_outcomes"] = [
-                outcome
-                for future in entry.futures
-                for outcome in future.result()
-            ]
-            session.release(entry.slot)
-        start = time.perf_counter()
-        results.append(_finish_batch_state(entry.state, entry.front_seconds))
-        if session.outstanding():
-            overlap += time.perf_counter() - start
-
+    drain = _StreamDrain(session)
     try:
-        for circuit, circuit_seed in zip(batch, circuit_seeds):
-            front_start = time.perf_counter()
-            state = plan(circuit, circuit_seed)
-            front_spent = time.perf_counter() - front_start
+        for index, (circuit, circuit_seed) in enumerate(
+            zip(batch, circuit_seeds)
+        ):
+            outcome = plan_front(index, circuit, circuit_seed)
             if session.outstanding():
-                overlap += front_spent
-            trial_plan = state.properties.get("trial_plan")
-            futures: list = []
-            slot = -1
-            if trial_plan is not None:
-                slot = session.add_payload(trial_plan.spec)
-                futures = session.submit(slot, trial_plan.refs)
-                routed += 1
-            pending.append(_StreamEntry(state, front_spent, futures, slot))
+                drain.overlap += outcome.seconds
+            drain.park(outcome.state, outcome.seconds)
             # Finish any leading circuits whose trials already drained
             # (non-blocking), then enforce the bounded window (blocking
             # on the oldest circuit only when the producer ran ahead).
-            while pending and all(f.done() for f in pending[0].futures):
-                finish(pending.popleft())
-            while len(pending) > window:
-                finish(pending.popleft())
-        while pending:
-            finish(pending.popleft())
+            drain.finish_drained()
+            while len(drain.pending) > window:
+                drain.finish_oldest()
+        while drain.pending:
+            drain.finish_oldest()
     finally:
         session.close()
-
-    dispatch = _dispatch_provenance(
-        trial_executor,
-        stats_before,
-        circuits=len(batch),
-        routed=routed,
+    return drain.results, drain.provenance(
+        trial_executor, stats_before, len(batch), "local"
     )
-    dispatch["scheduler"] = "stream"
-    dispatch["overlap_seconds"] = round(overlap, 6)
-    return results, dispatch
+
+
+def _stream_executor_plan_fanout(
+    batch: list[QuantumCircuit],
+    plan_spec: PlanSpec,
+    circuit_seeds: Sequence[np.random.SeedSequence],
+    trial_executor: TrialExecutor,
+    session,
+    stats_before: dict[str, int],
+) -> tuple[list[TranspileResult], dict]:
+    """Streaming scheduler with planning distributed onto the executor.
+
+    The bounded producer submits each circuit's *front pipeline* as a
+    planning task on the same dispatch session that runs the routing
+    trials — one shared :class:`PlanSpec` payload (the coverage set rides
+    as the session anchor), one light :class:`PlanTask` per circuit.
+    Planned states come back anchor-encoded (the worker re-pickles them
+    with persistent references to the anchors, so the coverage set never
+    travels the return path) and are decoded **in input order**; each
+    decoded circuit's trial refs are fed straight into the in-flight
+    dispatch, and drained circuits resume immediately — so phase-A
+    planning of circuit *k + 1* runs on worker cores while phase-B trials
+    of circuit *k* execute and phase-C selection of circuit *k - 1* runs
+    on the producer thread.
+
+    The per-circuit seeds, and the spawn tree beneath them, are exactly
+    the local planner's, and every front stage is deterministic, so
+    fixed-seed outputs are byte-identical to ``plan="local"`` on every
+    executor and scheduler.
+    """
+    window = _stream_window(trial_executor)
+    drain = _StreamDrain(session)
+    next_index = 0
+    admitted = 0
+    plan_pending: collections.deque[concurrent.futures.Future] = (
+        collections.deque()
+    )
+
+    def admit(encoded: object) -> None:
+        """Decode one planned state and feed its trials into the dispatch."""
+        nonlocal admitted
+        start = time.perf_counter()
+        outcome = session.decode(encoded)
+        if outcome.index != admitted:  # pragma: no cover - defensive
+            raise TranspilerError(
+                f"planned circuit {outcome.index} admitted out of order "
+                f"(expected {admitted})"
+            )
+        admitted += 1
+        drain.park(outcome.state, outcome.seconds)
+        if session.outstanding():
+            drain.overlap += time.perf_counter() - start
+
+    try:
+        plan_slot = session.add_payload(plan_spec, kind="plan")
+        while next_index < len(batch) or plan_pending or drain.pending:
+            progressed = False
+            # Keep the window full of planning tasks: submitted plans plus
+            # parked circuits never exceed the stream window, bounding the
+            # states (and segments) held at any moment.
+            while (
+                next_index < len(batch)
+                and len(plan_pending) + len(drain.pending) < window
+            ):
+                task = PlanTask(
+                    index=next_index,
+                    circuit=batch[next_index],
+                    seed=circuit_seeds[next_index],
+                )
+                (future,) = session.submit(
+                    plan_slot, [task], fn=run_plan, encode=True, kind="plan"
+                )
+                plan_pending.append(future)
+                next_index += 1
+                progressed = True
+            # Admit completed plans strictly in input order.
+            while plan_pending and plan_pending[0].done():
+                (encoded,) = plan_pending.popleft().result()
+                admit(encoded)
+                progressed = True
+            # Resume circuits whose trials have fully drained.
+            progressed = drain.finish_drained() or progressed
+            if progressed:
+                continue
+            # Nothing moved: block until the head plan or a head-circuit
+            # trial chunk completes (only not-done futures, so a partially
+            # drained head cannot busy-spin the loop).
+            waitables = [
+                future
+                for future in (
+                    ([plan_pending[0]] if plan_pending else [])
+                    + (list(drain.pending[0].futures) if drain.pending else [])
+                )
+                if not future.done()
+            ]
+            if not waitables:  # pragma: no cover - defensive
+                if drain.pending:
+                    drain.finish_oldest()
+                    continue
+                break
+            concurrent.futures.wait(
+                waitables, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+    finally:
+        session.close()
+    return drain.results, drain.provenance(
+        trial_executor, stats_before, len(batch), "executor"
+    )
 
 
 def transpile_many(
@@ -509,6 +713,7 @@ def transpile_many(
     max_workers: int | None = None,
     fanout: str = "auto",
     scheduler: str = "auto",
+    plan: str = "auto",
 ) -> BatchResult:
     """Transpile a batch of circuits sharing one coverage set and executor.
 
@@ -546,6 +751,23 @@ def transpile_many(
       (the engine preceding the streaming scheduler).
     * ``"auto"`` (default) — ``"stream"``.
 
+    Under the streaming scheduler, ``plan`` picks where each circuit's
+    *front pipeline* (clean → … → vf2 → plan) runs:
+
+    * ``"executor"`` — planning tasks are submitted to the same dispatch
+      session as the routing trials, so phase-A planning of later
+      circuits runs on worker cores while earlier circuits' trials are
+      in flight.  The coverage set rides the session anchor in both
+      directions (planned states come back anchor-encoded), so it still
+      crosses the process boundary exactly once per batch.
+    * ``"local"`` — planning stays on the dispatching thread (the
+      pre-executor-planning behaviour).
+    * ``"auto"`` (default) — ``"executor"`` whenever the dispatch
+      session executes concurrently with the producer (thread pools and
+      shared-memory process pools), else ``"local"``.  The barrier
+      scheduler always plans locally; the mode actually used is recorded
+      in the dispatch provenance.
+
     Parameters
     ----------
     circuits : iterable of QuantumCircuit
@@ -555,6 +777,9 @@ def transpile_many(
     scheduler : {"auto", "stream", "overlap", "barrier"}
         Circuit fan-out scheduling mode, see above (ignored under
         ``fanout="trials"``).
+    plan : {"auto", "local", "executor"}
+        Planning placement under the streaming scheduler, see above
+        (ignored under ``fanout="trials"`` and by the barrier engine).
     **others
         Exactly as :func:`transpile`.
 
@@ -570,8 +795,9 @@ def transpile_many(
     ``numpy.random.SeedSequence`` by batch position, and per-trial streams
     from each circuit seed — the identical spawn tree in every fan-out
     mode, scheduler and executor.  For a fixed circuit list and seed the
-    batch is therefore byte-identical across ``fanout``, ``scheduler``
-    and ``executor`` choices (shared-memory transport included); but
+    batch is therefore byte-identical across ``fanout``, ``scheduler``,
+    ``plan`` and ``executor`` choices (shared-memory and zero-copy
+    transports included); but
     reordering, inserting or removing circuits reseeds the affected
     positions, and a batch of one does not reproduce a bare
     :func:`transpile` call with the same integer seed.
@@ -588,6 +814,7 @@ def transpile_many(
     method, selection = validate_flow(method, selection)
     mode = _resolve_fanout(fanout, len(batch))
     scheduler_mode = _resolve_scheduler(scheduler)
+    plan_mode = _resolve_plan(plan)
     dispatch: dict | None = None
     with executor_scope(executor, max_workers) as trial_executor:
         shared_coverage = (
@@ -610,6 +837,7 @@ def transpile_many(
                 circuit_seeds=circuit_seeds,
                 trial_executor=trial_executor,
                 scheduler=scheduler_mode,
+                plan=plan_mode,
             )
         else:
             stats_before = dict(trial_executor.dispatch_stats)

@@ -72,11 +72,32 @@ shared memory and returns ``None`` from ``open_dispatch`` when the
 transport is unavailable, letting callers fall back to the barrier
 :meth:`map_shared` path.
 
+Zero-copy payload views
+-----------------------
+
+On hosts where the shared-memory transport is active, payloads are laid
+out in their segment as **pickle-protocol-5 out-of-band buffers**: the
+pickle body and every exported buffer (numpy array data — the coverage
+set's half-space ``(A, b)`` matrices, hull point clouds, consolidated
+gate unitaries) are written side by side behind a small index header.
+Workers unpickle with ``buffers=`` memoryviews over the attached
+segment, so those arrays come back as **read-only numpy views of shared
+memory** — no per-worker copy of the payload bytes, no matter how many
+workers share one coverage set.  Worker attachments are refcounted and
+pinned to the memoised payload (:func:`_load_payload`), so views stay
+valid for as long as the payload is cached even after the dispatcher
+unlinks the segment name (POSIX keeps the mapping alive).  Setting
+``MIRAGE_ZEROCOPY_DISABLE=1`` falls back to the copy-on-attach layout
+(whole pickled blob in the segment, workers copy then unpickle), and
+hosts without shared memory keep the inline-blob transport; results are
+byte-identical in every mode.
+
 Each executor records how much serialisation and transport the last
 calls cost in :attr:`TrialExecutor.dispatch_stats` (``shared_pickles``,
-``payload_pickles``, ``chunks``, ``tasks``, ``shm_segments``,
-``bytes_shipped``), which the batch engine surfaces as provenance and
-the test suite uses as a re-pickling regression check.
+``payload_pickles``, ``plan_payloads``, ``chunks``, ``tasks``,
+``plan_tasks``, ``shm_segments``, ``bytes_shipped``, ``header_bytes``
+and worker-side ``bytes_copied``), which the batch engine surfaces as
+provenance and the test suite uses as a re-pickling regression check.
 """
 
 from __future__ import annotations
@@ -91,6 +112,8 @@ import math
 import os
 import pickle
 import secrets
+import struct
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
@@ -123,7 +146,23 @@ _SHARED_CACHE_LIMIT = max(64, 4 * (os.cpu_count() or 1) + 8)
 #: regression tests scan ``/dev/shm`` for it.
 SHM_SEGMENT_PREFIX = "mirage_shm_"
 
-_shared_cache: "OrderedDict[str, object]" = OrderedDict()
+#: Magic bytes opening the out-of-band (zero-copy) segment layout; the
+#: bytes that follow are the section count and the ``(offset, size)``
+#: table (one entry per section, section 0 being the pickle body).
+_OOB_MAGIC = b"MIRG5OOB"
+
+#: Alignment of out-of-band sections inside a segment — generous enough
+#: for any numpy dtype, so ``frombuffer`` views are always aligned.
+_OOB_ALIGN = 64
+
+#: Worker-side count of payload bytes materialised (copied) before
+#: unpickling.  Zero-copy loads advance it by the index header only;
+#: copy-on-attach and inline-blob loads advance it by the payload size.
+#: Chunk runners snapshot it around execution and return the delta, so
+#: the dispatcher can aggregate it into ``dispatch_stats``.
+_worker_bytes_copied = 0
+
+_shared_cache: "OrderedDict[str, tuple[object, object | None]]" = OrderedDict()
 
 #: Dispatcher-side registry of live segment names (mapped to the pid that
 #: created them — forked workers inherit a copy of this dict and must not
@@ -152,6 +191,19 @@ def shm_transport_enabled() -> bool:
     return os.environ.get("MIRAGE_SHM_DISABLE", "") in ("", "0")
 
 
+def zero_copy_enabled() -> bool:
+    """Whether shm payloads use the out-of-band (zero-copy) layout.
+
+    With zero copy, numpy arrays inside a payload are unpickled as
+    read-only views over the shared-memory segment instead of per-worker
+    copies.  ``MIRAGE_ZEROCOPY_DISABLE=1`` falls back to the
+    copy-on-attach layout (checked per call, like the shm switch); the
+    flag is independent of :func:`shm_transport_enabled` but only has an
+    effect when that transport is active.
+    """
+    return os.environ.get("MIRAGE_ZEROCOPY_DISABLE", "") in ("", "0")
+
+
 @atexit.register
 def _cleanup_segments() -> None:  # pragma: no cover - exercised at exit
     """Last-resort guard: unlink created and close attached segments."""
@@ -163,6 +215,113 @@ def _cleanup_segments() -> None:  # pragma: no cover - exercised at exit
         with contextlib.suppress(Exception):
             shm.close()
     _attached_segments.clear()
+    for attachment in list(_segment_attachments.values()):
+        _close_attachment_quietly(attachment.shm)
+    _segment_attachments.clear()
+
+
+class _SegmentAttachment:
+    """A refcounted worker-side attachment to one payload segment.
+
+    Zero-copy payloads hand out numpy views over the attached buffer, so
+    the attachment must outlive every memoised payload that references
+    it.  Each memo entry holds one reference; the last release closes
+    the mapping (a ``BufferError`` — live views still exported — is
+    tolerated: the views keep the mmap alive and the OS reclaims it when
+    they die).
+    """
+
+    __slots__ = ("name", "shm", "refs")
+
+    def __init__(self, name: str, shm: object) -> None:
+        self.name = name
+        self.shm = shm
+        self.refs = 0
+
+
+#: Worker-side registry of refcounted attachments, keyed by segment name.
+_segment_attachments: dict[str, _SegmentAttachment] = {}
+
+
+def _acquire_segment(name: str) -> _SegmentAttachment:
+    """Attach (or re-reference) a segment; pairs with :func:`_release_attachment`."""
+    attachment = _segment_attachments.get(name)
+    if attachment is None:
+        attachment = _SegmentAttachment(name, _attach_segment(name))
+        _segment_attachments[name] = attachment
+    attachment.refs += 1
+    return attachment
+
+
+def _close_attachment_quietly(shm: object) -> None:
+    """Close an attachment, orphaning the mapping to any live views.
+
+    Numpy views handed out by a zero-copy load export the underlying
+    mmap, so a plain ``close()`` raises ``BufferError`` — and would
+    raise again, noisily, from ``SharedMemory.__del__``.  In that case
+    the mmap reference is dropped without closing it (the views keep it
+    alive; the OS unmaps when the last one dies) and only the file
+    descriptor is closed, leaving nothing for the finaliser to do.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        with contextlib.suppress(Exception):
+            shm._mmap = None
+            fd = getattr(shm, "_fd", -1)
+            if fd >= 0:
+                os.close(fd)
+                shm._fd = -1
+    except Exception:  # pragma: no cover - platform-specific close errors
+        pass
+
+
+def _release_attachment(attachment: "_SegmentAttachment | None") -> None:
+    """Drop one reference; the last one closes the attachment."""
+    if attachment is None:
+        return
+    attachment.refs -= 1
+    if attachment.refs <= 0:
+        _segment_attachments.pop(attachment.name, None)
+        _close_attachment_quietly(attachment.shm)
+
+
+def reset_worker_state() -> None:
+    """Drop this process's payload memo and release its attachments.
+
+    Test hook (and fork hygiene helper): evicts every memoised payload
+    and dereferences the zero-copy attachments behind them.  Arrays that
+    still view a released segment stay readable — they pin the mapping —
+    but new loads re-attach from scratch.
+    """
+    global _worker_bytes_copied
+    while _shared_cache:
+        _, (_, attachment) = _shared_cache.popitem(last=False)
+        _release_attachment(attachment)
+    _worker_bytes_copied = 0
+
+
+class _ViewReader(io.RawIOBase):
+    """Minimal read-only file over a memoryview — no upfront body copy.
+
+    Feeding ``io.BytesIO(view)`` to the unpickler would copy the whole
+    pickle body out of the segment; this adapter lets the unpickler
+    stream it instead (it buffers internally in small frames).
+    """
+
+    def __init__(self, view: memoryview) -> None:
+        super().__init__()
+        self._view = view
+        self._pos = 0
+
+    def readable(self) -> bool:  # noqa: D102 - io protocol
+        return True
+
+    def readinto(self, target) -> int:  # noqa: D102 - io protocol
+        count = min(len(target), len(self._view) - self._pos)
+        target[:count] = self._view[self._pos:self._pos + count]
+        self._pos += count
+        return count
 
 
 def _attach_segment(name: str):
@@ -178,14 +337,22 @@ def _attach_segment(name: str):
         return _shared_memory.SharedMemory(name=name, track=False)
     except TypeError:
         pass
-    shm = _shared_memory.SharedMemory(name=name)
-    try:  # pragma: no cover - version-dependent
-        from multiprocessing import resource_tracker
+    # Pre-3.13 fallback: plain attaches register with the resource
+    # tracker.  Registering and immediately unregistering is not safe —
+    # the tracker keeps a *set*, so a concurrent attach in a sibling
+    # worker can interleave its register/unregister pair with ours and
+    # with the dispatcher's final unlink, leaving the tracker to unlink
+    # a name it no longer knows (a noisy KeyError at best, an early
+    # unlink at worst).  Suppressing the registration call for the
+    # duration of the attach avoids the message pair entirely.
+    from multiprocessing import resource_tracker  # pragma: no cover
 
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:
-        pass
-    return shm
+    original_register = resource_tracker.register
+    try:
+        resource_tracker.register = lambda *args, **kwargs: None
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
 
 
 def _unlink_segment(name: str) -> None:
@@ -214,11 +381,16 @@ class PayloadHandle:
 
     In shared-memory mode only ``segment``/``digest``/``size`` travel with
     each chunk — O(1) bytes regardless of payload size; in blob mode the
-    pickled ``blob`` itself is attached.  Workers resolve a handle to the
-    deserialised object via :func:`_load_shared`, memoised by ``digest``.
+    pickled ``blob`` itself is attached.  ``header`` is non-zero for
+    segments using the out-of-band (zero-copy) layout and gives the size
+    of the index header at the start of the segment.  ``oob_buffers``
+    carries the protocol-5 buffers inline when an out-of-band pickle
+    could not get a segment (the blob is then just the pickle body).
+    Workers resolve a handle to the deserialised object via
+    :func:`_load_payload`, memoised by ``digest``.
     """
 
-    __slots__ = ("digest", "size", "segment", "blob")
+    __slots__ = ("digest", "size", "segment", "blob", "header", "oob_buffers")
 
     def __init__(
         self,
@@ -226,11 +398,15 @@ class PayloadHandle:
         size: int,
         segment: str | None = None,
         blob: bytes | None = None,
+        header: int = 0,
+        oob_buffers: tuple[bytes, ...] | None = None,
     ) -> None:
         self.digest = digest
         self.size = size
         self.segment = segment
         self.blob = blob
+        self.header = header
+        self.oob_buffers = oob_buffers
 
     @property
     def shipped_bytes(self) -> int:
@@ -240,7 +416,16 @@ class PayloadHandle:
         return self.size + len(self.digest) + 16
 
     def fetch(self) -> bytes:
-        """Materialise the pickled payload bytes (worker side)."""
+        """Materialise the pickled payload bytes (worker side).
+
+        Only valid for whole-blob payloads; zero-copy (out-of-band)
+        payloads have no single byte string to fetch — they are
+        deserialised in place via :func:`_load_payload`.
+        """
+        if self.header:
+            raise TranspilerError(
+                "zero-copy payloads are loaded in place, not fetched"
+            )
         if self.segment is None:
             assert self.blob is not None
             return self.blob
@@ -255,21 +440,45 @@ class PayloadHandle:
             _attached_segments.pop(key, None)
 
     def __getstate__(self) -> tuple:
-        return (self.digest, self.size, self.segment, self.blob)
+        return (
+            self.digest, self.size, self.segment, self.blob, self.header,
+            self.oob_buffers,
+        )
 
     def __setstate__(self, state: tuple) -> None:
-        self.digest, self.size, self.segment, self.blob = state
+        (
+            self.digest, self.size, self.segment, self.blob, self.header,
+            self.oob_buffers,
+        ) = state
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        mode = "shm" if self.segment is not None else "blob"
+        if self.segment is None:
+            mode = "blob"
+        elif self.header:
+            mode = "shm+oob"
+        else:
+            mode = "shm"
         return (
             f"PayloadHandle({mode}, digest={self.digest[:8]}…, "
             f"size={self.size})"
         )
 
 
+def _new_segment(size: int):
+    """Create a fresh named segment, or ``None`` when creation fails."""
+    name = f"{SHM_SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+    try:
+        segment = _shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, size)
+        )
+    except OSError:
+        return None
+    _created_segments[name] = os.getpid()
+    return segment
+
+
 def _publish_payload(blob: bytes) -> PayloadHandle:
-    """Publish pickled bytes for worker consumption.
+    """Publish pickled bytes for worker consumption (whole-blob layout).
 
     Prefers a named shared-memory segment (transport per chunk drops to
     O(1) bytes); falls back to shipping the blob inline when the shm
@@ -277,15 +486,9 @@ def _publish_payload(blob: bytes) -> PayloadHandle:
     """
     digest = hashlib.sha1(blob).hexdigest()
     if shm_transport_enabled():
-        name = f"{SHM_SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
-        try:
-            segment = _shared_memory.SharedMemory(
-                name=name, create=True, size=max(1, len(blob))
-            )
-        except OSError:
-            pass
-        else:
-            _created_segments[name] = os.getpid()
+        segment = _new_segment(len(blob))
+        if segment is not None:
+            name = segment.name
             try:
                 segment.buf[: len(blob)] = blob
             finally:
@@ -294,27 +497,115 @@ def _publish_payload(blob: bytes) -> PayloadHandle:
     return PayloadHandle(digest=digest, size=len(blob), blob=blob)
 
 
-def _memoise(key: str, loader: Callable[[], object]) -> object:
-    """LRU-memoise a deserialised payload in this (worker) process."""
-    try:
-        shared = _shared_cache.pop(key)
-    except KeyError:
-        shared = loader()
-    _shared_cache[key] = shared
-    while len(_shared_cache) > _SHARED_CACHE_LIMIT:
-        _shared_cache.popitem(last=False)
-    return shared
+def _align_oob(offset: int) -> int:
+    return -(-offset // _OOB_ALIGN) * _OOB_ALIGN
 
 
-def _load_shared(handle: PayloadHandle) -> object:
-    """Deserialise a payload handle, memoised by content digest.
+def _digest_sections(sections: Sequence[memoryview]) -> str:
+    """Content digest of an out-of-band section list, length-framed.
 
-    Runs inside worker processes.  The expensive work — attaching the
-    segment (or receiving the blob) and ``pickle.loads`` rebuilding
-    coverage-set polytopes, DAG nodes, numpy arrays — happens at most
-    once per worker per payload.
+    Each section's byte length is hashed ahead of its bytes so two
+    payloads whose concatenated sections coincide but split differently
+    can never alias to one digest — the worker memo is keyed by this.
     """
-    return _memoise(handle.digest, lambda: pickle.loads(handle.fetch()))
+    digest = hashlib.sha1()
+    for section in sections:
+        digest.update(struct.pack("<Q", section.nbytes))
+        digest.update(section)
+    return digest.hexdigest()
+
+
+def _publish_object_oob(
+    obj: object, anchors: Sequence[object]
+) -> PayloadHandle | None:
+    """Publish an object as out-of-band sections in one shm segment.
+
+    Layout: ``_OOB_MAGIC``, a ``uint64`` section count, then one
+    ``(uint64 offset, uint64 size)`` pair per section; section 0 is the
+    pickle body, sections 1+ are the protocol-5 out-of-band buffers, each
+    aligned to :data:`_OOB_ALIGN`.  When segment creation fails (shm
+    pressure) the already-serialised body and buffers are shipped inline
+    instead of being re-pickled; ``None`` is returned only when an
+    exporter produced a non-contiguous buffer, in which case the caller
+    must re-pickle in-band.
+    """
+    pickle_buffers: list[pickle.PickleBuffer] = []
+    body = _dumps_anchored(obj, anchors, buffer_callback=pickle_buffers.append)
+    sections: list[memoryview] = [memoryview(body)]
+    try:
+        sections.extend(buffer.raw() for buffer in pickle_buffers)
+    except BufferError:  # pragma: no cover - non-contiguous exporter
+        return None
+    header = 16 + 16 * len(sections)
+    offsets: list[int] = []
+    cursor = header
+    for section in sections:
+        cursor = _align_oob(cursor)
+        offsets.append(cursor)
+        cursor += section.nbytes
+    segment = _new_segment(cursor)
+    if segment is None:
+        # Segment creation failed (shm pressure) *after* the expensive
+        # object-graph pickle already ran — reuse it: ship the body and
+        # its out-of-band buffers inline rather than re-pickling in-band.
+        return PayloadHandle(
+            digest=_digest_sections(sections),
+            size=sum(section.nbytes for section in sections),
+            blob=body,
+            oob_buffers=tuple(bytes(raw) for raw in sections[1:]),
+        )
+    name = segment.name
+    try:
+        buf = segment.buf
+        struct.pack_into("<8sQ", buf, 0, _OOB_MAGIC, len(sections))
+        for index, (offset, section) in enumerate(zip(offsets, sections)):
+            struct.pack_into("<QQ", buf, 16 + 16 * index, offset, section.nbytes)
+            buf[offset:offset + section.nbytes] = section
+    finally:
+        segment.close()
+    return PayloadHandle(
+        digest=_digest_sections(sections),
+        size=cursor,
+        segment=name,
+        header=header,
+    )
+
+
+def _publish_object(obj: object, anchors: Sequence[object] = ()) -> PayloadHandle:
+    """Serialise and publish one payload object for worker consumption.
+
+    Uses the zero-copy out-of-band layout whenever the shm transport is
+    active and ``MIRAGE_ZEROCOPY_DISABLE`` is unset; otherwise (or when
+    segment creation fails) degrades to the whole-blob layout — in a
+    segment when shm is available, inline on the chunk otherwise.
+    """
+    if shm_transport_enabled() and zero_copy_enabled():
+        handle = _publish_object_oob(obj, anchors)
+        if handle is not None:
+            return handle
+    return _publish_payload(_dumps_anchored(obj, anchors))
+
+
+def _memoise(
+    key: str, loader: Callable[[], tuple[object, object]]
+) -> object:
+    """LRU-memoise a deserialised payload in this (worker) process.
+
+    ``loader`` returns ``(payload, attachment)``; the attachment (a
+    :class:`_SegmentAttachment` for zero-copy payloads, else ``None``)
+    is pinned alongside the cache entry and released on eviction, so
+    views into shared memory stay valid for exactly as long as the
+    payload they belong to is cached.
+    """
+    try:
+        entry = _shared_cache.pop(key)
+    except KeyError:
+        entry = loader()
+    _shared_cache[key] = entry
+    while len(_shared_cache) > _SHARED_CACHE_LIMIT:
+        _, (_, attachment) = _shared_cache.popitem(last=False)
+        _release_attachment(attachment)
+    return entry[0]
 
 
 class _AnchorPickler(pickle.Pickler):
@@ -327,8 +618,17 @@ class _AnchorPickler(pickle.Pickler):
     bytes exist exactly once — in the session's anchor payload.
     """
 
-    def __init__(self, buffer: io.BytesIO, anchors: Sequence[object]) -> None:
-        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    def __init__(
+        self,
+        buffer: io.BytesIO,
+        anchors: Sequence[object],
+        buffer_callback: Callable | None = None,
+    ) -> None:
+        super().__init__(
+            buffer,
+            protocol=pickle.HIGHEST_PROTOCOL,
+            buffer_callback=buffer_callback,
+        )
         self._anchor_ids = {id(obj): index for index, obj in enumerate(anchors)}
 
     def persistent_id(self, obj: object):  # noqa: D102 - pickle hook
@@ -338,46 +638,128 @@ class _AnchorPickler(pickle.Pickler):
 class _AnchorUnpickler(pickle.Unpickler):
     """Unpickler resolving persistent references against loaded anchors."""
 
-    def __init__(self, buffer: io.BytesIO, anchors: Sequence[object]) -> None:
-        super().__init__(buffer)
+    def __init__(
+        self,
+        buffer,
+        anchors: Sequence[object],
+        buffers: Iterable[memoryview] | None = None,
+    ) -> None:
+        super().__init__(buffer, buffers=buffers)
         self._anchors = anchors
 
     def persistent_load(self, pid):  # noqa: D102 - pickle hook
         return self._anchors[pid]
 
 
-def _dumps_anchored(payload: object, anchors: Sequence[object]) -> bytes:
+def _dumps_anchored(
+    payload: object,
+    anchors: Sequence[object],
+    buffer_callback: Callable | None = None,
+) -> bytes:
     buffer = io.BytesIO()
-    _AnchorPickler(buffer, anchors).dump(payload)
+    _AnchorPickler(buffer, anchors, buffer_callback).dump(payload)
     return buffer.getvalue()
 
 
-def _load_anchored(
-    handle: PayloadHandle,
-    anchor_handle: PayloadHandle | None,
+def _loads_anchored(
+    blob: bytes,
+    anchors: Sequence[object],
+    buffers: Sequence[bytes] | None = None,
 ) -> object:
-    """Worker-side load of an anchored payload (memoised by digest pair)."""
+    return _AnchorUnpickler(io.BytesIO(blob), anchors, buffers=buffers).load()
+
+
+def _load_oob(
+    handle: PayloadHandle, anchors: Sequence[object]
+) -> tuple[object, _SegmentAttachment]:
+    """Deserialise an out-of-band payload as views over its segment.
+
+    The pickle body is streamed straight out of the attached segment and
+    every protocol-5 buffer is handed to the unpickler as a *read-only*
+    memoryview slice, so numpy arrays come back as views of shared
+    memory.  Only the index header is materialised — the returned
+    attachment pins the mapping for the payload's cache lifetime.
+    """
+    global _worker_bytes_copied
+    attachment = _acquire_segment(handle.segment)
+    try:
+        view = memoryview(attachment.shm.buf).toreadonly()
+        magic, count = struct.unpack_from("<8sQ", view, 0)
+        if magic != _OOB_MAGIC:
+            raise TranspilerError(
+                f"segment {handle.segment!r} is not an out-of-band payload"
+            )
+        table = [
+            struct.unpack_from("<QQ", view, 16 + 16 * index)
+            for index in range(count)
+        ]
+        body_offset, body_size = table[0]
+        buffers = [view[offset:offset + size] for offset, size in table[1:]]
+        reader = io.BufferedReader(
+            _ViewReader(view[body_offset:body_offset + body_size])
+        )
+        payload = _AnchorUnpickler(reader, anchors, buffers=buffers).load()
+    except BaseException:
+        _release_attachment(attachment)
+        raise
+    _worker_bytes_copied += 16 + 16 * count
+    return payload, attachment
+
+
+def _load_payload(
+    handle: PayloadHandle,
+    anchor_handle: PayloadHandle | None = None,
+) -> object:
+    """Deserialise a payload handle, memoised by content digest.
+
+    Runs inside worker processes.  The expensive work — attaching the
+    segment (or receiving the blob) and unpickling coverage-set
+    polytopes, DAG nodes, numpy arrays — happens at most once per worker
+    per payload.  Zero-copy handles rebuild their arrays as read-only
+    views over the attached segment; blob handles materialise the bytes
+    first (counted in the worker's ``bytes_copied``).
+    """
     anchors: Sequence[object] = ()
-    anchor_key = ""
+    key = handle.digest
     if anchor_handle is not None:
-        anchors = _load_shared(anchor_handle)
-        anchor_key = anchor_handle.digest
+        anchors = _load_payload(anchor_handle)
+        key = f"{anchor_handle.digest}:{handle.digest}"
 
-    def loader() -> object:
-        buffer = io.BytesIO(handle.fetch())
-        return _AnchorUnpickler(buffer, anchors).load()
+    def loader() -> tuple[object, _SegmentAttachment | None]:
+        global _worker_bytes_copied
+        if handle.header:
+            return _load_oob(handle, anchors)
+        blob = handle.fetch()
+        buffers = handle.oob_buffers
+        _worker_bytes_copied += len(blob) + sum(
+            len(buffer) for buffer in buffers or ()
+        )
+        return _loads_anchored(blob, anchors, buffers), None
 
-    return _memoise(f"{anchor_key}:{handle.digest}", loader)
+    return _memoise(key, loader)
+
+
+def _load_shared(handle: PayloadHandle) -> object:
+    """Back-compat alias of :func:`_load_payload` without anchors."""
+    return _load_payload(handle)
 
 
 def _run_shared_chunk(
     handle: PayloadHandle,
     fn: Callable[[object, object], object],
     tasks: Sequence[object],
-) -> list[object]:
-    """Evaluate one chunk of light tasks against the memoised payload."""
-    shared = _load_shared(handle)
-    return [fn(shared, task) for task in tasks]
+) -> tuple[list[object], int]:
+    """Evaluate one chunk of light tasks against the memoised payload.
+
+    Returns the chunk's results plus the payload bytes this call
+    materialised worker-side (zero when the payload was already memoised
+    or arrived as zero-copy views).
+    """
+    global _worker_bytes_copied
+    before = _worker_bytes_copied
+    shared = _load_payload(handle)
+    results = [fn(shared, task) for task in tasks]
+    return results, _worker_bytes_copied - before
 
 
 def _run_session_chunk(
@@ -385,10 +767,25 @@ def _run_session_chunk(
     payload_handle: PayloadHandle,
     fn: Callable[[object, object], object],
     tasks: Sequence[object],
-) -> list[object]:
-    """Evaluate one streamed chunk against its anchored payload."""
-    shared = _load_anchored(payload_handle, anchor_handle)
-    return [fn(shared, task) for task in tasks]
+    encode: bool = False,
+) -> tuple[list[object], int]:
+    """Evaluate one streamed chunk against its anchored payload.
+
+    With ``encode=True`` each result is re-pickled with persistent
+    references to the session anchors before travelling back, so heavy
+    anchor objects (the coverage set) never ride the return path — the
+    parent resolves them via :meth:`DispatchSession.decode`.
+    """
+    global _worker_bytes_copied
+    before = _worker_bytes_copied
+    anchors: Sequence[object] = ()
+    if anchor_handle is not None:
+        anchors = _load_payload(anchor_handle)
+    shared = _load_payload(payload_handle, anchor_handle)
+    results = [fn(shared, task) for task in tasks]
+    if encode:
+        results = [_dumps_anchored(result, anchors) for result in results]
+    return results, _worker_bytes_copied - before
 
 
 def _run_local_chunk(
@@ -416,22 +813,73 @@ class DispatchSession:
     order), and :meth:`close` releases every transport resource once all
     futures have drained.  Use it as a context manager so segments are
     unlinked even when a worker raises.
+
+    ``submit`` accepts a per-call ``fn`` override, which is how the
+    batch engine runs *planning* tasks on the same session (and the same
+    anchors) as the routing trials; submissions flagged ``kind="plan"``
+    are counted under the ``plan_tasks``/``plan_payloads`` provenance
+    keys instead of ``tasks``/``payload_pickles``.  Results submitted
+    with ``encode=True`` come back anchor-encoded from serialising
+    transports and must run through :meth:`decode`.
     """
+
+    #: Whether submitted chunks can execute concurrently with the
+    #: submitting thread (drives the ``plan="auto"`` resolution).
+    parallel = False
 
     def __init__(self, fn: Callable[[Any, Any], Any]) -> None:
         self.fn = fn
         self._futures: list[concurrent.futures.Future] = []
         self._closed = False
 
-    def add_payload(self, payload: object) -> int:
+    def _count_submit(
+        self, kind: str, chunks: int, tasks: int, bytes_shipped: int = 0
+    ) -> None:
+        """Fold one submission into the executor's dispatch counters.
+
+        The single place mapping a submission ``kind`` onto provenance
+        keys: ``"plan"`` submissions count under ``plan_tasks``, anything
+        else under ``tasks`` (subclasses set ``self._executor``).
+        """
+        if kind == "plan":
+            self._executor._count_dispatch(
+                chunks=chunks, plan_tasks=tasks, bytes_shipped=bytes_shipped
+            )
+        else:
+            self._executor._count_dispatch(
+                chunks=chunks, tasks=tasks, bytes_shipped=bytes_shipped
+            )
+
+    def _count_payload(self, kind: str) -> None:
+        """Fold one payload registration into the dispatch counters."""
+        if kind == "plan":
+            self._executor._count_dispatch(plan_payloads=1)
+        else:
+            self._executor._count_dispatch(payload_pickles=1)
+
+    def add_payload(self, payload: object, kind: str = "payload") -> int:
         """Register a heavy payload; returns its slot for :meth:`submit`."""
         raise NotImplementedError
 
     def submit(
-        self, slot: int, tasks: Sequence[object]
+        self,
+        slot: int,
+        tasks: Sequence[object],
+        *,
+        fn: Callable[[Any, Any], Any] | None = None,
+        encode: bool = False,
+        kind: str = "trial",
     ) -> list[concurrent.futures.Future]:
         """Dispatch ``tasks`` against payload ``slot`` as chunked futures."""
         raise NotImplementedError
+
+    def decode(self, result: object) -> object:
+        """Resolve one ``encode=True`` result against the session anchors.
+
+        The identity function on transports that never serialise results
+        (inline and thread sessions).
+        """
+        return result
 
     def release(self, slot: int) -> None:
         """Drop payload ``slot``'s resources once its futures have drained.
@@ -474,7 +922,7 @@ class _LocalDispatchSession(DispatchSession):
         self._executor = executor
         self._payloads: list[object] = []
 
-    def add_payload(self, payload: object) -> int:
+    def add_payload(self, payload: object, kind: str = "payload") -> int:
         self._payloads.append(payload)
         return len(self._payloads) - 1
 
@@ -486,35 +934,51 @@ class _InlineDispatchSession(_LocalDispatchSession):
     """Serial session: chunks run at submit time, futures are pre-resolved."""
 
     def submit(
-        self, slot: int, tasks: Sequence[object]
+        self,
+        slot: int,
+        tasks: Sequence[object],
+        *,
+        fn: Callable[[Any, Any], Any] | None = None,
+        encode: bool = False,
+        kind: str = "trial",
     ) -> list[concurrent.futures.Future]:
         future: concurrent.futures.Future = concurrent.futures.Future()
         try:
             future.set_result(
-                _run_local_chunk(self.fn, self._payloads[slot], tasks)
+                _run_local_chunk(fn or self.fn, self._payloads[slot], tasks)
             )
         except BaseException as error:  # noqa: BLE001 - mirror pool futures
             future.set_exception(error)
-        self._executor._count_dispatch(chunks=1, tasks=len(tasks))
+        self._count_submit(kind, 1, len(tasks))
         return [future]
 
 
 class _ThreadDispatchSession(_LocalDispatchSession):
     """Thread-pool session: chunks close over the payload, no serialisation."""
 
+    parallel = True
+
     def submit(
-        self, slot: int, tasks: Sequence[object]
+        self,
+        slot: int,
+        tasks: Sequence[object],
+        *,
+        fn: Callable[[Any, Any], Any] | None = None,
+        encode: bool = False,
+        kind: str = "trial",
     ) -> list[concurrent.futures.Future]:
         pool = self._executor._ensure_pool()
         batch = list(tasks)
         workers = self._executor.max_workers or os.cpu_count() or 1
         size = max(1, math.ceil(len(batch) / workers))
         futures = [
-            pool.submit(_run_local_chunk, self.fn, self._payloads[slot], chunk)
+            pool.submit(
+                _run_local_chunk, fn or self.fn, self._payloads[slot], chunk
+            )
             for chunk in _chunk(batch, size)
         ]
         self._futures.extend(futures)
-        self._executor._count_dispatch(chunks=len(futures), tasks=len(batch))
+        self._count_submit(kind, len(futures), len(batch))
         return futures
 
 
@@ -532,6 +996,8 @@ class _ShmDispatchSession(DispatchSession):
     the few chunks of the affected circuit.
     """
 
+    parallel = True
+
     def __init__(
         self,
         executor: "ProcessExecutor",
@@ -545,23 +1011,24 @@ class _ShmDispatchSession(DispatchSession):
         self._segments: list[str] = []
         self._anchor_handle: PayloadHandle | None = None
         if self._anchors:
-            blob = pickle.dumps(
-                self._anchors, protocol=pickle.HIGHEST_PROTOCOL
-            )
-            self._anchor_handle = self._record(blob)
+            self._anchor_handle = self._record(self._anchors, ())
             executor._count_dispatch(shared_pickles=1)
 
-    def _record(self, blob: bytes) -> PayloadHandle:
-        handle = _publish_payload(blob)
+    def _record(
+        self, payload: object, anchors: Sequence[object]
+    ) -> PayloadHandle:
+        handle = _publish_object(payload, anchors)
         if handle.segment is not None:
             self._segments.append(handle.segment)
-            self._executor._count_dispatch(shm_segments=1)
+            self._executor._count_dispatch(
+                shm_segments=1, header_bytes=handle.header
+            )
         return handle
 
-    def add_payload(self, payload: object) -> int:
-        handle = self._record(_dumps_anchored(payload, self._anchors))
+    def add_payload(self, payload: object, kind: str = "payload") -> int:
+        handle = self._record(payload, self._anchors)
         self._handles.append(handle)
-        self._executor._count_dispatch(payload_pickles=1)
+        self._count_payload(kind)
         return len(self._handles) - 1
 
     def release(self, slot: int) -> None:
@@ -574,8 +1041,42 @@ class _ShmDispatchSession(DispatchSession):
                 self._segments.remove(handle.segment)
             _unlink_segment(handle.segment)
 
+    def decode(self, result: object) -> object:
+        return _loads_anchored(result, self._anchors)
+
+    def _wrap_chunk_future(
+        self, raw: concurrent.futures.Future
+    ) -> concurrent.futures.Future:
+        """Unwrap ``(results, bytes_copied)`` chunk returns transparently.
+
+        The worker-side copy count is folded into the executor's
+        dispatch stats as chunks complete; callers see a future whose
+        result is just the chunk's result list, exactly as the local
+        sessions deliver it.
+        """
+        wrapped: concurrent.futures.Future = concurrent.futures.Future()
+        executor = self._executor
+
+        def _transfer(done: concurrent.futures.Future) -> None:
+            error = done.exception()
+            if error is not None:
+                wrapped.set_exception(error)
+                return
+            results, copied = done.result()
+            executor._count_dispatch(bytes_copied=copied)
+            wrapped.set_result(results)
+
+        raw.add_done_callback(_transfer)
+        return wrapped
+
     def submit(
-        self, slot: int, tasks: Sequence[object]
+        self,
+        slot: int,
+        tasks: Sequence[object],
+        *,
+        fn: Callable[[Any, Any], Any] | None = None,
+        encode: bool = False,
+        kind: str = "trial",
     ) -> list[concurrent.futures.Future]:
         pool = self._executor._ensure_pool()
         batch = list(tasks)
@@ -583,8 +1084,15 @@ class _ShmDispatchSession(DispatchSession):
         workers = self._executor.max_workers or os.cpu_count() or 1
         size = max(1, math.ceil(len(batch) / (workers * CHUNKS_PER_WORKER)))
         futures = [
-            pool.submit(
-                _run_session_chunk, self._anchor_handle, handle, self.fn, chunk
+            self._wrap_chunk_future(
+                pool.submit(
+                    _run_session_chunk,
+                    self._anchor_handle,
+                    handle,
+                    fn or self.fn,
+                    chunk,
+                    encode,
+                )
             )
             for chunk in _chunk(batch, size)
         ]
@@ -592,9 +1100,8 @@ class _ShmDispatchSession(DispatchSession):
         shipped = handle.shipped_bytes + (
             self._anchor_handle.shipped_bytes if self._anchor_handle else 0
         )
-        self._executor._count_dispatch(
-            chunks=len(futures),
-            tasks=len(batch),
+        self._count_submit(
+            kind, len(futures), len(batch),
             bytes_shipped=shipped * len(futures),
         )
         return futures
@@ -618,11 +1125,18 @@ class TrialExecutor:
         self.dispatch_stats: dict[str, int] = {
             "shared_pickles": 0,
             "payload_pickles": 0,
+            "plan_payloads": 0,
             "chunks": 0,
             "tasks": 0,
+            "plan_tasks": 0,
             "shm_segments": 0,
             "bytes_shipped": 0,
+            "header_bytes": 0,
+            "bytes_copied": 0,
         }
+        # Chunk completion callbacks fold worker-side copy counts in from
+        # the pool's collector thread, so counter updates are locked.
+        self._stats_lock = threading.Lock()
 
     def map(
         self,
@@ -665,22 +1179,10 @@ class TrialExecutor:
         """
         return _InlineDispatchSession(self, fn)
 
-    def _count_dispatch(
-        self,
-        *,
-        shared_pickles: int = 0,
-        payload_pickles: int = 0,
-        chunks: int = 0,
-        tasks: int = 0,
-        shm_segments: int = 0,
-        bytes_shipped: int = 0,
-    ) -> None:
-        self.dispatch_stats["shared_pickles"] += shared_pickles
-        self.dispatch_stats["payload_pickles"] += payload_pickles
-        self.dispatch_stats["chunks"] += chunks
-        self.dispatch_stats["tasks"] += tasks
-        self.dispatch_stats["shm_segments"] += shm_segments
-        self.dispatch_stats["bytes_shipped"] += bytes_shipped
+    def _count_dispatch(self, **deltas: int) -> None:
+        with self._stats_lock:
+            for key, value in deltas.items():
+                self.dispatch_stats[key] += value
 
     def close(self) -> None:
         """Release any worker resources.  Idempotent."""
@@ -814,8 +1316,7 @@ class ProcessExecutor(_PoolExecutor):
             self._count_dispatch(chunks=len(batch), tasks=len(batch))
             return [fn(shared, task) for task in batch]
         pool = self._ensure_pool()
-        blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
-        handle = _publish_payload(blob)
+        handle = _publish_object(shared)
         workers = self.max_workers or os.cpu_count() or 1
         size = max(1, math.ceil(len(batch) / (workers * CHUNKS_PER_WORKER)))
         try:
@@ -829,11 +1330,14 @@ class ProcessExecutor(_PoolExecutor):
                 tasks=len(batch),
                 shm_segments=1 if handle.segment is not None else 0,
                 bytes_shipped=handle.shipped_bytes * len(futures),
+                header_bytes=handle.header,
             )
             results: list[_Result] = []
             try:
                 for future in futures:
-                    results.extend(future.result())
+                    chunk_results, copied = future.result()
+                    self._count_dispatch(bytes_copied=copied)
+                    results.extend(chunk_results)
             finally:
                 # A raising chunk must not unlink the segment while other
                 # chunks may still be about to attach it.

@@ -149,15 +149,38 @@ class TrialSpec:
     pair differs.  Splitting the spec out lets
     :meth:`~repro.transpiler.executors.TrialExecutor.map_shared` serialise
     it once per dispatch instead of once per trial.
+
+    ``reverse_dag`` may be ``None`` (a *deferred* spec): the reverse DAG
+    is then derived from ``dag`` on first use — in whichever process runs
+    the first trial — and cached on the spec instance, so the dispatcher
+    neither builds nor ships it and its construction overlaps early trial
+    execution on other workers.  The derivation is deterministic, keeping
+    results byte-identical to an eagerly-built spec.
     """
 
     dag: DAGCircuit
-    reverse_dag: DAGCircuit
+    reverse_dag: DAGCircuit | None
     coupling: CouplingMap
     router_factory: RouterFactory
     refinement_rounds: int
     routing_trials: int
     selection_metric: SelectionMetric
+
+    def resolved_reverse_dag(self) -> DAGCircuit:
+        """The reverse DAG, deriving (and caching) it when deferred.
+
+        Worker processes memoise the unpickled spec per payload, so the
+        derivation runs at most once per process; under a thread executor
+        a rare race can derive it twice, producing identical DAGs (the
+        construction is deterministic), so last-write-wins is benign.
+        """
+        if self.reverse_dag is not None:
+            return self.reverse_dag
+        cached = getattr(self, "_reverse_cache", None)
+        if cached is None:
+            cached = _reverse_dag(self.dag)
+            object.__setattr__(self, "_reverse_cache", cached)
+        return cached
 
 
 @dataclasses.dataclass(frozen=True)
@@ -225,13 +248,14 @@ def run_trial(spec: TrialSpec, ref: TrialRef) -> TrialOutcome:
     start = time.perf_counter()
     rng = np.random.default_rng(ref.seed)
     router = spec.router_factory(ref.trial_index)
+    reverse_dag = spec.resolved_reverse_dag()
     layout = Layout.random(
         spec.dag.num_qubits, spec.coupling.num_qubits, seed=rng
     )
     for _ in range(spec.refinement_rounds):
         forward = router.run(spec.dag, layout, seed=rng)
         layout = forward.final_layout
-        backward = router.run(spec.reverse_dag, layout, seed=rng)
+        backward = router.run(reverse_dag, layout, seed=rng)
         layout = backward.final_layout
     best_routing: RoutingResult | None = None
     best_score = math.inf
@@ -349,11 +373,19 @@ class SabreLayout:
         self.executor = executor
         self.max_workers = max_workers
 
-    def trial_spec(self, dag: DAGCircuit) -> TrialSpec:
-        """Build the heavy, trial-invariant payload for ``dag``."""
+    def trial_spec(
+        self, dag: DAGCircuit, *, defer_reverse: bool = False
+    ) -> TrialSpec:
+        """Build the heavy, trial-invariant payload for ``dag``.
+
+        With ``defer_reverse=True`` the reverse DAG is left out of the
+        spec entirely — trial runners derive it on first use (memoised
+        per process), so it is neither constructed on the dispatching
+        thread nor shipped across the process boundary.
+        """
         return TrialSpec(
             dag=dag,
-            reverse_dag=_reverse_dag(dag),
+            reverse_dag=None if defer_reverse else _reverse_dag(dag),
             coupling=self.coupling,
             router_factory=self.router_factory,
             refinement_rounds=self.refinement_rounds,
@@ -394,9 +426,33 @@ class SabreLayout:
         index, keeping the winner independent of the executor.  Trials are
         dispatched in split spec/ref form so pool-backed executors ship
         the DAGs and coverage set once per chunk, not once per trial.
+
+        When the executor can stream (:meth:`TrialExecutor.open_dispatch`)
+        the trials go through a :class:`DispatchSession` with a *deferred*
+        spec: the payload is published and the trials start before any
+        reverse DAG exists, and its construction happens inside the
+        workers (memoised per process), overlapping early trial work
+        instead of serialising on the dispatching thread.  Executors
+        without a streaming transport fall back to the barrier
+        :meth:`TrialExecutor.map_shared` path with an eager spec; both
+        paths are byte-identical for a fixed seed.
         """
-        spec = self.trial_spec(dag)
         refs = self.trial_refs()
         with executor_scope(self.executor, self.max_workers) as executor:
-            outcomes = executor.map_shared(run_trial, spec, refs)
+            session = (
+                executor.open_dispatch(run_trial) if len(refs) > 1 else None
+            )
+            if session is None:
+                spec = self.trial_spec(dag)
+                outcomes = executor.map_shared(run_trial, spec, refs)
+            else:
+                with session:
+                    spec = self.trial_spec(dag, defer_reverse=True)
+                    slot = session.add_payload(spec)
+                    futures = session.submit(slot, refs)
+                    outcomes = [
+                        outcome
+                        for future in futures
+                        for outcome in future.result()
+                    ]
         return select_best(outcomes, self.metric_name)

@@ -1,0 +1,285 @@
+"""Tests for distributed (executor-side) plan-stage fan-out.
+
+Covers the guarantees of the ``plan="local"|"executor"`` knob of
+:func:`repro.core.transpile.transpile_many`:
+
+* fixed-seed outputs are **byte-identical** across plan modes, schedulers,
+  transports and executors (one shared digest pins every variant);
+* plan provenance lands on ``BatchResult.dispatch`` (``plan_mode``,
+  ``plan_tasks``, ``plan_seconds``, worker-side ``bytes_copied``);
+* ``"auto"`` resolves to executor planning exactly when the dispatch
+  session runs concurrently with the producer, and executor planning
+  falls back to local when the transport cannot stream;
+* a worker failing mid-plan propagates the error without leaking
+  shared-memory segments;
+* the coverage set still crosses the process boundary exactly once per
+  batch — planning tasks reference it through the session anchor in both
+  directions.
+"""
+
+import glob
+import hashlib
+import os
+
+import pytest
+
+from repro.exceptions import TranspilerError
+from repro.circuits.library import ghz, qft, twolocal_full
+from repro.core import transpile_many
+from repro.polytopes import get_coverage_set
+from repro.polytopes.coverage import CoverageSet
+from repro.transpiler import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    line_topology,
+)
+from repro.transpiler.executors import SHM_SEGMENT_PREFIX, shm_transport_enabled
+
+COVERAGE = get_coverage_set("sqrt_iswap", num_samples=250, seed=3)
+
+needs_shm = pytest.mark.skipif(
+    not shm_transport_enabled(),
+    reason="POSIX shared memory unavailable on this platform",
+)
+
+
+def _own_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{SHM_SEGMENT_PREFIX}{os.getpid()}_*")
+
+
+def _digest(batch) -> str:
+    """One digest pinning the byte-level identity of a whole batch."""
+    hasher = hashlib.sha256()
+    for result in batch:
+        for instruction in result.circuit:
+            params = ",".join(f"{p:.12e}" for p in instruction.gate.params)
+            hasher.update(
+                f"{instruction.gate.name}({params})@{instruction.qubits}\n"
+                .encode()
+            )
+        hasher.update(
+            f"{result.trial_index}|{result.swaps_added}|"
+            f"{result.mirrors_accepted}\n".encode()
+        )
+    return hasher.hexdigest()
+
+
+def _batch(executor=None, **kwargs):
+    return transpile_many(
+        [qft(4), ghz(5), twolocal_full(4)],
+        line_topology(5),
+        coverage=COVERAGE,
+        use_vf2=False,
+        layout_trials=3,
+        seed=7,
+        fanout="circuits",
+        executor=executor,
+        **kwargs,
+    )
+
+
+REFERENCE_DIGEST = _digest(
+    transpile_many(
+        [qft(4), ghz(5), twolocal_full(4)],
+        line_topology(5),
+        coverage=COVERAGE,
+        use_vf2=False,
+        layout_trials=3,
+        seed=7,
+        fanout="trials",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Digest-pinned byte identity across plan modes / schedulers / executors
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("plan", ["local", "executor", "auto"])
+@pytest.mark.parametrize("make_executor", [
+    SerialExecutor,
+    lambda: ThreadExecutor(max_workers=2),
+    lambda: ProcessExecutor(max_workers=2),
+], ids=["serial", "threads", "processes"])
+def test_plan_modes_digest_identical_across_executors(make_executor, plan):
+    with make_executor() as executor:
+        fanned = _batch(executor, scheduler="stream", plan=plan)
+    assert _digest(fanned) == REFERENCE_DIGEST
+    assert _own_segments() == []
+
+
+@pytest.mark.parametrize("scheduler", ["stream", "barrier"])
+def test_plan_digest_identical_across_schedulers(scheduler):
+    fanned = _batch(scheduler=scheduler, plan="auto")
+    assert _digest(fanned) == REFERENCE_DIGEST
+
+
+def test_plan_digest_identical_without_shm(monkeypatch):
+    monkeypatch.setenv("MIRAGE_SHM_DISABLE", "1")
+    with ProcessExecutor(max_workers=2) as executor:
+        fanned = _batch(executor, scheduler="stream", plan="executor")
+    assert _digest(fanned) == REFERENCE_DIGEST
+    # No streaming transport: the engine fell back to the barrier
+    # scheduler, which always plans locally.
+    assert fanned.dispatch["scheduler"] == "barrier"
+    assert fanned.dispatch["plan_mode"] == "local"
+
+
+@needs_shm
+def test_plan_digest_identical_without_zero_copy(monkeypatch):
+    monkeypatch.setenv("MIRAGE_ZEROCOPY_DISABLE", "1")
+    with ProcessExecutor(max_workers=2) as executor:
+        fanned = _batch(executor, scheduler="stream", plan="executor")
+    assert _digest(fanned) == REFERENCE_DIGEST
+    assert fanned.dispatch["plan_mode"] == "executor"
+    assert fanned.dispatch["header_bytes"] == 0  # copy-on-attach layout
+    assert _own_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Plan-mode resolution and provenance
+# ---------------------------------------------------------------------------
+
+
+def test_plan_auto_resolution():
+    serial = _batch(plan="auto")
+    assert serial.dispatch["plan_mode"] == "local"  # inline session
+    with ThreadExecutor(max_workers=2) as threads:
+        threaded = _batch(threads, plan="auto")
+    assert threaded.dispatch["plan_mode"] == "executor"
+
+
+def test_plan_rejects_unknown_mode():
+    with pytest.raises(TranspilerError):
+        _batch(plan="telepathic")
+
+
+def test_plan_provenance_local():
+    fanned = _batch(plan="local")
+    dispatch = fanned.dispatch
+    assert dispatch["plan_mode"] == "local"
+    assert dispatch["plan_tasks"] == 0
+    assert dispatch["plan_payloads"] == 0
+    assert dispatch["plan_seconds"] > 0.0
+
+
+def test_plan_provenance_executor():
+    with ThreadExecutor(max_workers=2) as threads:
+        fanned = _batch(threads, plan="executor")
+    dispatch = fanned.dispatch
+    assert dispatch["plan_mode"] == "executor"
+    assert dispatch["plan_tasks"] == 3  # one plan task per circuit
+    assert dispatch["plan_seconds"] > 0.0
+    # Trial accounting is untouched by planning tasks.
+    assert dispatch["tasks"] == 9  # 3 circuits x 3 layout trials
+
+
+@needs_shm
+def test_plan_executor_process_provenance_and_transport():
+    with ProcessExecutor(max_workers=2) as executor:
+        fanned = _batch(executor, plan="executor")
+    dispatch = fanned.dispatch
+    assert dispatch["plan_mode"] == "executor"
+    assert dispatch["plan_tasks"] == 3
+    assert dispatch["plan_payloads"] == 1  # the one shared PlanSpec
+    assert dispatch["payload_pickles"] == 3  # one trial spec per circuit
+    assert dispatch["shared_pickles"] == 1  # the coverage anchor
+    # Zero-copy transport: workers materialised index headers only.
+    assert dispatch["header_bytes"] > 0
+    assert 0 < dispatch["bytes_copied"] <= 2 * dispatch["header_bytes"]
+    assert _own_segments() == []
+
+
+@needs_shm
+def test_plan_executor_pickles_coverage_once(monkeypatch):
+    """Planning on the executor must not re-serialise the coverage set.
+
+    Outbound it rides the session anchor; inbound the planned states are
+    anchor-encoded, so the worker's copy is never pickled back either.
+    """
+    calls = {"count": 0}
+    original = CoverageSet.__getstate__
+
+    def counting_getstate(self):
+        calls["count"] += 1
+        return original(self)
+
+    monkeypatch.setattr(CoverageSet, "__getstate__", counting_getstate)
+    with ProcessExecutor(max_workers=2) as executor:
+        fanned = _batch(executor, plan="executor")
+    assert _digest(fanned) == REFERENCE_DIGEST
+    assert calls["count"] == 1
+    assert fanned.dispatch["shared_pickles"] == 1
+
+
+def test_plan_executor_handles_vf2_embedded_circuits():
+    circuits = [ghz(4), qft(4), ghz(3)]
+    kwargs = dict(coverage=COVERAGE, layout_trials=2, seed=5)
+    sequential = transpile_many(
+        circuits, line_topology(4), fanout="trials", **kwargs
+    )
+    with ThreadExecutor(max_workers=2) as threads:
+        fanned = transpile_many(
+            circuits, line_topology(4), fanout="circuits",
+            scheduler="stream", plan="executor", executor=threads, **kwargs,
+        )
+    assert [r.method for r in fanned] == ["vf2", "mirage", "vf2"]
+    assert _digest(fanned) == _digest(sequential)
+    assert fanned.dispatch["plan_tasks"] == 3  # every circuit is planned
+    assert fanned.dispatch["routed"] == 1  # but only one needed trials
+
+
+def test_plan_executor_reports_full_pipeline():
+    with ThreadExecutor(max_workers=2) as threads:
+        fanned = _batch(threads, plan="executor")
+    names = [record["name"] for record in fanned[0].pipeline_report]
+    assert names == [
+        "clean", "unroll", "reclean", "consolidate", "coupling",
+        "coverage", "analyze", "vf2", "plan", "route", "select",
+    ]
+    assert all(r.trial_seconds is not None and r.trial_seconds > 0
+               for r in fanned)
+    assert all(r.runtime_seconds > 0 for r in fanned)
+
+
+def test_plan_executor_long_batch_bounded_window():
+    """A batch far larger than the stream window drains correctly."""
+    circuits = [qft(4), ghz(5), twolocal_full(4)] * 8  # 24 circuits
+    sequential = transpile_many(
+        circuits, line_topology(5), coverage=COVERAGE, use_vf2=False,
+        layout_trials=2, seed=11, fanout="trials",
+    )
+    with ThreadExecutor(max_workers=2) as threads:
+        fanned = transpile_many(
+            circuits, line_topology(5), coverage=COVERAGE, use_vf2=False,
+            layout_trials=2, seed=11, fanout="circuits", scheduler="stream",
+            plan="executor", executor=threads,
+        )
+    assert _digest(fanned) == _digest(sequential)
+    assert fanned.dispatch["plan_tasks"] == len(circuits)
+
+
+# ---------------------------------------------------------------------------
+# Failure hygiene
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("plan", ["local", "executor"])
+def test_plan_failure_propagates_without_segment_leak(plan):
+    """A circuit failing mid-plan surfaces the error and leaks nothing.
+
+    The 9-qubit circuit cannot fit the 5-qubit device, so its front
+    pipeline raises — in a worker process under ``plan="executor"``,
+    on the producer thread under ``plan="local"``.
+    """
+    circuits = [qft(4), qft(9), ghz(5)]
+    with ProcessExecutor(max_workers=2) as executor:
+        with pytest.raises(TranspilerError, match="9 qubits"):
+            transpile_many(
+                circuits, line_topology(5), coverage=COVERAGE,
+                use_vf2=False, layout_trials=2, seed=3, fanout="circuits",
+                scheduler="stream", plan=plan, executor=executor,
+            )
+    assert _own_segments() == []

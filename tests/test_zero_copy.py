@@ -1,0 +1,352 @@
+"""Tests for the zero-copy (out-of-band) shared-memory payload layout.
+
+Covers the transport guarantees of the protocol-5 segment layout:
+
+* payloads published while the shm transport is active are laid out as
+  out-of-band sections and unpickled as **read-only numpy views** over
+  the attached segment — worker processes materialise only the index
+  header, never the payload bytes;
+* view lifetime: arrays stay valid while their payload is memoised,
+  survive the dispatcher unlinking the segment name (POSIX semantics),
+  and the mapping is released only after the last detach;
+* ``MIRAGE_ZEROCOPY_DISABLE=1`` degrades to the copy-on-attach blob
+  layout with identical results, and the inline-blob fallback still
+  works without shm at all;
+* worker crashes (raising chunks and hard process death) never leak
+  segments.
+"""
+
+import glob
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TranspilerError
+from repro.transpiler import ProcessExecutor
+from repro.transpiler.executors import (
+    SHM_SEGMENT_PREFIX,
+    _load_payload,
+    _publish_object,
+    _segment_attachments,
+    _shared_cache,
+    _unlink_segment,
+    reset_worker_state,
+    shm_transport_enabled,
+    zero_copy_enabled,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shm_transport_enabled(),
+    reason="POSIX shared memory unavailable on this platform",
+)
+
+
+def _own_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{SHM_SEGMENT_PREFIX}{os.getpid()}_*")
+
+
+def _payload(rows: int = 256) -> dict:
+    return {
+        "matrix": np.arange(rows * 8, dtype=float).reshape(rows, 8),
+        "offsets": np.arange(rows, dtype=np.int64),
+        "label": ("coverage", rows),
+    }
+
+
+def _probe_arrays(shared, task):
+    """Worker probe: writability flag and checksum of the shared arrays."""
+    matrix = shared["matrix"]
+    return (
+        bool(matrix.flags.writeable),
+        float(matrix.sum()),
+        int(shared["offsets"][task]),
+    )
+
+
+def _explode(shared, task):
+    raise ValueError(f"task {task} exploded")
+
+
+def _die(shared, task):  # pragma: no cover - runs in a worker that exits
+    os._exit(1)
+
+
+# ---------------------------------------------------------------------------
+# In-process layout round trip and view lifetime
+# ---------------------------------------------------------------------------
+
+
+@needs_shm
+def test_publish_object_uses_oob_layout():
+    handle = _publish_object(_payload())
+    try:
+        assert handle.segment is not None
+        assert handle.header > 0
+        # O(1) transport bytes per chunk regardless of payload size.
+        assert handle.shipped_bytes < 256
+    finally:
+        _unlink_segment(handle.segment)
+        reset_worker_state()
+
+
+@needs_shm
+def test_oob_arrays_are_readonly_views_and_survive_unlink():
+    """Arrays view the segment; the name unlinking does not kill them.
+
+    This is the dispatcher's lifecycle: the parent unlinks a payload's
+    segment as soon as its futures drain, while workers may still hold
+    memoised views — POSIX keeps the mapping alive until the last
+    detach.
+    """
+    payload = _payload()
+    expected = float(payload["matrix"].sum())
+    handle = _publish_object(payload)
+    loaded = _load_payload(handle)
+    assert loaded["matrix"].flags.writeable is False
+    assert loaded["offsets"].flags.writeable is False
+    assert np.array_equal(loaded["matrix"], payload["matrix"])
+    assert loaded["label"] == payload["label"]
+    with pytest.raises((ValueError, RuntimeError)):
+        loaded["matrix"][0, 0] = 99.0
+    assert handle.segment in {p.rsplit("/", 1)[-1] for p in _own_segments()}
+    # The attachment is refcounted and pinned to the payload memo.
+    assert handle.segment in _segment_attachments
+
+    _unlink_segment(handle.segment)
+    assert _own_segments() == []  # name gone ...
+    assert float(loaded["matrix"].sum()) == expected  # ... views still valid
+
+    # Last detach: the memo entry is evicted, releasing the attachment;
+    # the views themselves keep the mapping readable until they die.
+    reset_worker_state()
+    assert handle.segment not in _segment_attachments
+    assert float(loaded["matrix"].sum()) == expected
+
+
+@needs_shm
+def test_oob_handle_refuses_fetch():
+    handle = _publish_object(_payload())
+    try:
+        with pytest.raises(TranspilerError):
+            handle.fetch()
+    finally:
+        _unlink_segment(handle.segment)
+
+
+@needs_shm
+def test_payload_memo_loads_segment_once():
+    handle = _publish_object(_payload())
+    try:
+        first = _load_payload(handle)
+        second = _load_payload(handle)
+        assert first is second
+        assert _segment_attachments[handle.segment].refs == 1
+    finally:
+        _unlink_segment(handle.segment)
+        reset_worker_state()
+
+
+def test_zero_copy_disable_falls_back_to_blob_layout(monkeypatch):
+    monkeypatch.setenv("MIRAGE_ZEROCOPY_DISABLE", "1")
+    assert not zero_copy_enabled()
+    payload = _payload()
+    handle = _publish_object(payload)
+    try:
+        assert handle.header == 0  # whole-blob layout
+        loaded = _load_payload(handle)
+        # Copy-on-attach materialises plain (writable) arrays.
+        assert loaded["matrix"].flags.writeable is True
+        assert np.array_equal(loaded["matrix"], payload["matrix"])
+    finally:
+        if handle.segment is not None:
+            _unlink_segment(handle.segment)
+        reset_worker_state()
+
+
+@needs_shm
+def test_segment_creation_failure_ships_oob_sections_inline(monkeypatch):
+    """Shm pressure mid-publish must not re-run the object-graph pickle.
+
+    When the segment cannot be created, the already-serialised pickle
+    body and its protocol-5 buffers ship inline on the handle instead.
+    """
+    from repro.transpiler import executors as executors_mod
+
+    monkeypatch.setattr(executors_mod, "_new_segment", lambda size: None)
+    payload = _payload()
+    handle = _publish_object(payload)
+    assert handle.segment is None
+    assert handle.header == 0
+    assert handle.oob_buffers  # out-of-band sections travelled inline
+    clone = pickle.loads(pickle.dumps(handle))
+    loaded = _load_payload(clone)
+    assert np.array_equal(loaded["matrix"], payload["matrix"])
+    assert loaded["label"] == payload["label"]
+    reset_worker_state()
+
+
+def test_blob_fallback_without_shm(monkeypatch):
+    monkeypatch.setenv("MIRAGE_SHM_DISABLE", "1")
+    payload = _payload()
+    handle = _publish_object(payload)
+    assert handle.segment is None
+    assert handle.header == 0
+    loaded = _load_payload(handle)
+    assert np.array_equal(loaded["matrix"], payload["matrix"])
+    reset_worker_state()
+
+
+@needs_shm
+def test_oob_layout_roundtrips_through_pickled_handle():
+    """Worker-side handles arrive pickled; the layout must survive that."""
+    payload = _payload()
+    handle = _publish_object(payload)
+    try:
+        clone = pickle.loads(pickle.dumps(handle))
+        loaded = _load_payload(clone)
+        assert np.array_equal(loaded["matrix"], payload["matrix"])
+    finally:
+        _unlink_segment(handle.segment)
+        reset_worker_state()
+
+
+# ---------------------------------------------------------------------------
+# Cross-process: zero worker copies, accounting, crash hygiene
+# ---------------------------------------------------------------------------
+
+
+@needs_shm
+def test_workers_get_readonly_views_without_copying():
+    payload = _payload(rows=4096)  # ~256 KiB of array data
+    expected = float(payload["matrix"].sum())
+    with ProcessExecutor(max_workers=2) as executor:
+        results = executor.map_shared(_probe_arrays, payload, list(range(16)))
+        stats = dict(executor.dispatch_stats)
+    assert all(not writeable for writeable, _, _ in results)
+    assert all(checksum == expected for _, checksum, _ in results)
+    assert [value for _, _, value in results] == list(range(16))
+    assert stats["shm_segments"] == 1
+    assert stats["header_bytes"] > 0
+    # Each worker materialises the index header exactly once — never the
+    # payload bytes (the arrays are views into the segment).
+    assert 0 < stats["bytes_copied"] <= 2 * stats["header_bytes"]
+    assert _own_segments() == []
+
+
+@needs_shm
+def test_copy_on_attach_fallback_counts_payload_bytes(monkeypatch):
+    monkeypatch.setenv("MIRAGE_ZEROCOPY_DISABLE", "1")
+    payload = _payload(rows=4096)
+    with ProcessExecutor(max_workers=2) as executor:
+        results = executor.map_shared(_probe_arrays, payload, list(range(16)))
+        stats = dict(executor.dispatch_stats)
+    # Copied arrays are writable, and the copy count reflects real
+    # payload bytes (at least one full payload per attaching worker).
+    assert all(writeable for writeable, _, _ in results)
+    assert stats["header_bytes"] == 0
+    assert stats["bytes_copied"] > payload["matrix"].nbytes
+    assert _own_segments() == []
+
+
+@needs_shm
+def test_no_segment_leak_after_worker_exception_with_zero_copy():
+    with ProcessExecutor(max_workers=2) as executor:
+        with pytest.raises(ValueError, match="exploded"):
+            executor.map_shared(_explode, _payload(), list(range(8)))
+    assert _own_segments() == []
+
+
+@needs_shm
+def test_no_segment_leak_after_worker_death_mid_dispatch():
+    """A worker dying outright (not raising) must not leak segments."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    with ProcessExecutor(max_workers=2) as executor:
+        session = executor.open_dispatch(_die, anchors=(_payload(),))
+        assert session is not None
+        slot = session.add_payload(_payload(rows=64))
+        futures = session.submit(slot, list(range(8)))
+        with pytest.raises(BrokenProcessPool):
+            for future in futures:
+                future.result()
+        session.close()
+    assert _own_segments() == []
+
+
+@needs_shm
+def test_zero_copy_and_copy_results_identical():
+    tasks = list(range(12))
+    payload = _payload(rows=512)
+    with ProcessExecutor(max_workers=2) as executor:
+        zero_copy = executor.map_shared(_probe_arrays, payload, tasks)
+    os.environ["MIRAGE_ZEROCOPY_DISABLE"] = "1"
+    try:
+        with ProcessExecutor(max_workers=2) as executor:
+            copied = executor.map_shared(_probe_arrays, payload, tasks)
+    finally:
+        del os.environ["MIRAGE_ZEROCOPY_DISABLE"]
+    # Identical values; only the writability flag may differ.
+    assert [r[1:] for r in zero_copy] == [r[1:] for r in copied]
+    assert _own_segments() == []
+
+
+@needs_shm
+def test_coverage_set_arrays_become_shared_views():
+    """A published coverage set answers queries through zero-copy views."""
+    from repro.polytopes import get_coverage_set
+
+    coverage = get_coverage_set("sqrt_iswap", num_samples=250, seed=3)
+    probes = np.array([
+        [0.0, 0.0, 0.0],
+        [np.pi / 4, 0.0, 0.0],
+        [np.pi / 8, np.pi / 16, 0.0],
+    ])
+    expected = coverage.cost_of_many(probes)
+    handle = _publish_object(coverage)
+    try:
+        loaded = _load_payload(handle)
+        views = 0
+        for polytope in loaded.polytopes:
+            for piece in polytope.pieces:
+                lin_a, _ = piece.halfspaces
+                for array in (piece.points, lin_a):
+                    if array.size:
+                        assert array.flags.writeable is False
+                        views += 1
+        assert views > 0
+        # The view-backed set answers exactly as the original.
+        assert np.array_equal(loaded.cost_of_many(probes), expected)
+    finally:
+        _unlink_segment(handle.segment)
+        reset_worker_state()
+    assert _own_segments() == []
+
+
+def test_shared_cache_eviction_releases_attachments():
+    """Evicted payloads drop their attachment references."""
+    from repro.transpiler import executors as executors_mod
+
+    if not shm_transport_enabled():
+        pytest.skip("POSIX shared memory unavailable on this platform")
+    reset_worker_state()
+    limit = executors_mod._SHARED_CACHE_LIMIT
+    handles = []
+    try:
+        executors_mod._SHARED_CACHE_LIMIT = 2
+        for index in range(3):
+            handle = _publish_object({"index": np.full(16, index)})
+            handles.append(handle)
+            _load_payload(handle)
+        assert len(_shared_cache) == 2
+        # The first payload was evicted, releasing its attachment.
+        assert handles[0].segment not in _segment_attachments
+        assert handles[2].segment in _segment_attachments
+    finally:
+        executors_mod._SHARED_CACHE_LIMIT = limit
+        for handle in handles:
+            if handle.segment is not None:
+                _unlink_segment(handle.segment)
+        reset_worker_state()
+    assert _own_segments() == []

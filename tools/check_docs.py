@@ -51,7 +51,10 @@ PUBLIC_API = [
     ("repro.transpiler.executors", "DispatchSession"),
     ("repro.transpiler.executors", "PayloadHandle"),
     ("repro.transpiler.executors", "shm_transport_enabled"),
+    ("repro.transpiler.executors", "zero_copy_enabled"),
     ("repro.transpiler.passes.sabre_layout", "run_trial"),
+    ("repro.core.pipeline", "run_plan"),
+    ("repro.core.pipeline", "PlanSpec"),
 ]
 
 #: Subset that must keep numpy-style section headers.
