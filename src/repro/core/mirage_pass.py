@@ -26,8 +26,9 @@ from repro.circuits.gates import UnitaryGate
 from repro.core.aggression import Aggression, accept_mirror
 from repro.linalg.constants import SWAP
 from repro.polytopes.coverage import CoverageSet, get_coverage_set
+from repro.transpiler.kernel import KernelState
 from repro.transpiler.layout import Layout
-from repro.transpiler.metrics import node_coordinate
+from repro.transpiler.metrics import gate_coordinate, node_coordinate
 from repro.transpiler.passes.sabre_swap import SabreSwap
 from repro.transpiler.topologies import CouplingMap
 from repro.weyl.mirror import mirror_coordinate
@@ -98,11 +99,95 @@ class MirageSwap(SabreSwap):
 
         if accept_mirror(cost_current, cost_trial, self.aggression):
             self._stats["mirrors"] += 1
-            mirrored_gate = self._mirror_gate(node, mirrored_coordinate)
+            mirrored_gate = self._mirror_gate(node.gate, mirrored_coordinate)
             out.add_node(mirrored_gate, physical)
             layout.swap_physical(*physical)
         else:
             out.add_node(node.gate, physical)
+
+    # -- the intermediate layer, flat-kernel twin ---------------------------
+
+    def _commit_two_qubit_flat(
+        self, state: KernelState, node_id: int, physical: tuple[int, int]
+    ) -> None:
+        """Mirror decision over flat kernel state (same arithmetic, same
+        acceptance, byte-identical outputs as :meth:`_commit_two_qubit`)."""
+        self._stats["candidates"] += 1
+
+        gate = state.gate(node_id)
+        coordinate = gate_coordinate(gate)
+        mirrored_coordinate = mirror_coordinate(coordinate)
+
+        unit = self.coverage.unit_cost
+        pair_costs = self.coverage.cost_of_many(
+            (coordinate, mirrored_coordinate)
+        )
+        decomposition_current = float(pair_costs[0]) / unit
+        decomposition_mirror = float(pair_costs[1]) / unit
+
+        lookahead = state.lookahead_pairs(node_id)
+        routing_current, routing_mirror = self._mirror_routing_costs_flat(
+            state, lookahead, physical
+        )
+
+        cost_current = (
+            self.decomposition_weight * decomposition_current + routing_current
+        )
+        cost_trial = (
+            self.decomposition_weight * decomposition_mirror + routing_mirror
+        )
+
+        if accept_mirror(cost_current, cost_trial, self.aggression):
+            self._stats["mirrors"] += 1
+            state.ops.append(
+                (self._mirror_gate(gate, mirrored_coordinate), physical)
+            )
+            state.swap_physical(*physical)
+        else:
+            state.emit(node_id, physical)
+
+    def _mirror_routing_costs_flat(
+        self,
+        state: KernelState,
+        pairs: list[tuple[int, int]],
+        physical: tuple[int, int],
+    ) -> tuple[float, float]:
+        """Current/mirrored routing pressure over flat lookahead pairs.
+
+        On connected graphs both window sums run in exact int arithmetic;
+        the float path reproduces the object path's inf handling.  Either
+        way the returned floats match :meth:`_mirror_routing_costs` —
+        integer-valued distances make the delta-adjusted sum equal the
+        direct sum computed here.
+        """
+        if not pairs:
+            return 0.0, 0.0
+        swap_a, swap_b = physical
+        table = state.table
+        if table.connected:
+            distance = table.dist_int_lists()
+            base = 0
+            swapped = 0
+        else:
+            distance = table.dist_lists()
+            base = 0.0
+            swapped = 0.0
+        for left, right in pairs:
+            base += distance[left][right]
+            new_left = (
+                swap_b if left == swap_a else swap_a if left == swap_b else left
+            )
+            new_right = (
+                swap_b if right == swap_a
+                else swap_a if right == swap_b
+                else right
+            )
+            swapped += distance[new_left][new_right]
+        count = len(pairs)
+        weight = self.extended_set_weight
+        current = float(0.0 + weight * base / count)
+        mirrored = float(0.0 + weight * swapped / count)
+        return current, mirrored
 
     def _mirror_routing_costs(
         self,
@@ -163,19 +248,19 @@ class MirageSwap(SabreSwap):
 
     @staticmethod
     def _mirror_gate(
-        node: DAGNode, mirrored_coordinate: tuple[float, float, float]
+        gate, mirrored_coordinate: tuple[float, float, float]
     ) -> UnitaryGate:
         """Build the mirror gate ``SWAP . U`` as an annotated block.
 
-        The full DAG node is replaced with a new unitary rather than an
+        The full gate is replaced with a new unitary rather than an
         appended SWAP gate (paper Section VI-C), the mirrored coordinate is
         attached analytically (no re-extraction), and the unitarity check is
         skipped because mirroring preserves unitarity by construction.
         """
-        matrix = SWAP @ node.gate.matrix()
+        matrix = SWAP @ gate.matrix()
         return UnitaryGate(
             matrix,
-            label=f"{node.gate.name}_mirror",
+            label=f"{gate.name}_mirror",
             check=False,
             coordinate=tuple(mirrored_coordinate),
         )

@@ -883,39 +883,92 @@ def compare_methods(
     layout_trials: int = 4,
     seed: int | np.random.SeedSequence | np.random.Generator | None = 11,
     selections: Sequence[str] = ("swaps", "depth"),
+    coverage: CoverageSet | None = None,
     executor: str | TrialExecutor | None = None,
     max_workers: int | None = None,
 ) -> dict[str, TranspileResult]:
     """Run the SABRE baseline and MIRAGE variants on the same circuit.
 
     One trial executor (and its worker pool, when parallel) is shared
-    across all variants.  Returns a dict with keys ``"sabre"`` plus
-    ``"mirage-<selection>"`` for each requested post-selection metric —
-    the comparison behind the paper's Figs. 11 and 12.
+    across all variants, and on session-capable executors all variants
+    are batched through **one** :class:`DispatchSession`: the coverage
+    set is pickled once as the session anchor and every variant's trials
+    are dispatched up front, so SABRE trials overlap MIRAGE trials
+    instead of each variant paying its own dispatch round-trip.  Returns
+    a dict with keys ``"sabre"`` plus ``"mirage-<selection>"`` for each
+    requested post-selection metric — the comparison behind the paper's
+    Figs. 11 and 12.  Fixed-seed results are byte-identical to running
+    :func:`transpile` per variant (each variant plans with the same seed
+    and the same front pipeline).
     """
+    variants = [("sabre", "sabre", "swaps")] + [
+        (f"mirage-{selection}", "mirage", selection)
+        for selection in selections
+    ]
     results: dict[str, TranspileResult] = {}
     with executor_scope(executor, max_workers) as trial_executor:
-        results["sabre"] = transpile(
-            circuit,
-            coupling,
-            basis=basis,
-            method="sabre",
-            selection="swaps",
-            layout_trials=layout_trials,
-            use_vf2=False,
-            seed=seed,
-            executor=trial_executor,
+        shared_coverage = (
+            coverage if coverage is not None else get_coverage_set(basis)
         )
-        for selection in selections:
-            results[f"mirage-{selection}"] = transpile(
-                circuit,
-                coupling,
-                basis=basis,
-                method="mirage",
-                selection=selection,
-                layout_trials=layout_trials,
-                use_vf2=False,
-                seed=seed,
-                executor=trial_executor,
-            )
+        session = trial_executor.open_dispatch(
+            run_trial, anchors=(shared_coverage,)
+        )
+        if session is None:
+            # Executor cannot stream payloads — per-variant transpile
+            # calls on the shared executor (and shared coverage set).
+            for key, method, selection in variants:
+                results[key] = transpile(
+                    circuit,
+                    coupling,
+                    basis=basis,
+                    method=method,
+                    selection=selection,
+                    layout_trials=layout_trials,
+                    coverage=shared_coverage,
+                    use_vf2=False,
+                    seed=seed,
+                    executor=trial_executor,
+                )
+            return results
+        try:
+            # Plan every variant first, dispatching its trials into the
+            # shared session as soon as they exist; the in-flight sets
+            # overlap across variants.
+            parked = []
+            for key, method, selection in variants:
+                plan_spec = PlanSpec(
+                    coupling=coupling,
+                    basis=basis,
+                    method=method,
+                    selection=selection,
+                    aggression=None,
+                    layout_trials=layout_trials,
+                    refinement_rounds=2,
+                    routing_trials=1,
+                    coverage=shared_coverage,
+                    use_vf2=False,
+                )
+                outcome = run_plan(
+                    plan_spec, PlanTask(index=0, circuit=circuit, seed=seed)
+                )
+                trial_plan = outcome.state.properties.get("trial_plan")
+                futures: list = []
+                slot = -1
+                if trial_plan is not None:
+                    slot = session.add_payload(trial_plan.spec)
+                    futures = session.submit(slot, trial_plan.refs)
+                parked.append((key, outcome, futures, slot))
+            for key, outcome, futures, slot in parked:
+                if futures:
+                    outcome.state.properties["trial_outcomes"] = [
+                        trial_outcome
+                        for future in futures
+                        for trial_outcome in future.result()
+                    ]
+                    session.release(slot)
+                results[key] = _finish_batch_state(
+                    outcome.state, outcome.seconds
+                )
+        finally:
+            session.close()
     return results

@@ -204,6 +204,30 @@ def zero_copy_enabled() -> bool:
     return os.environ.get("MIRAGE_ZEROCOPY_DISABLE", "") in ("", "0")
 
 
+#: Default for :func:`zero_copy_inline_max`.
+_ZEROCOPY_INLINE_MAX_DEFAULT = 256
+
+
+def zero_copy_inline_max() -> int:
+    """Size floor (bytes) for exporting a buffer out-of-band.
+
+    Contiguous buffers smaller than this stay in-band inside the pickle
+    body: each export costs a 16-byte index-header entry plus alignment
+    padding in the segment, and workers gain nothing from a zero-copy
+    view over a few dozen bytes.  Tunable via
+    ``MIRAGE_ZEROCOPY_INLINE_MAX`` (``0`` exports everything, matching
+    the pre-threshold layout); checked per call like the other
+    transport switches.
+    """
+    value = os.environ.get("MIRAGE_ZEROCOPY_INLINE_MAX", "").strip()
+    if not value:
+        return _ZEROCOPY_INLINE_MAX_DEFAULT
+    try:
+        return max(0, int(value))
+    except ValueError:
+        return _ZEROCOPY_INLINE_MAX_DEFAULT
+
+
 @atexit.register
 def _cleanup_segments() -> None:  # pragma: no cover - exercised at exit
     """Last-resort guard: unlink created and close attached segments."""
@@ -523,19 +547,34 @@ def _publish_object_oob(
     Layout: ``_OOB_MAGIC``, a ``uint64`` section count, then one
     ``(uint64 offset, uint64 size)`` pair per section; section 0 is the
     pickle body, sections 1+ are the protocol-5 out-of-band buffers, each
-    aligned to :data:`_OOB_ALIGN`.  When segment creation fails (shm
-    pressure) the already-serialised body and buffers are shipped inline
-    instead of being re-pickled; ``None`` is returned only when an
-    exporter produced a non-contiguous buffer, in which case the caller
-    must re-pickle in-band.
+    aligned to :data:`_OOB_ALIGN`.  Buffers smaller than
+    :func:`zero_copy_inline_max` stay in-band inside the pickle body —
+    exporting a 32-byte array would cost a 16-byte index entry plus up to
+    63 bytes of alignment padding, and a worker-side view over it saves
+    nothing — so spec-heavy payloads full of tiny arrays keep a short
+    index header.  When segment creation fails (shm pressure) the
+    already-serialised body and buffers are shipped inline instead of
+    being re-pickled; ``None`` is returned only when an exporter produced
+    a non-contiguous buffer, in which case the caller must re-pickle
+    in-band.
     """
-    pickle_buffers: list[pickle.PickleBuffer] = []
-    body = _dumps_anchored(obj, anchors, buffer_callback=pickle_buffers.append)
-    sections: list[memoryview] = [memoryview(body)]
+    inline_max = zero_copy_inline_max()
+    raws: list[memoryview] = []
+
+    def _export(buffer: pickle.PickleBuffer) -> bool:
+        # A truthy return keeps the buffer in-band (PEP 574); raw() raises
+        # BufferError for non-contiguous exporters, aborting the dump.
+        raw = buffer.raw()
+        if raw.nbytes < inline_max:
+            return True
+        raws.append(raw)
+        return False
+
     try:
-        sections.extend(buffer.raw() for buffer in pickle_buffers)
+        body = _dumps_anchored(obj, anchors, buffer_callback=_export)
     except BufferError:  # pragma: no cover - non-contiguous exporter
         return None
+    sections: list[memoryview] = [memoryview(body), *raws]
     header = 16 + 16 * len(sections)
     offsets: list[int] = []
     cursor = header

@@ -26,20 +26,24 @@ from repro.polytopes.coverage import CoverageSet, get_coverage_set
 from repro.weyl.catalog import coordinate_of_named_gate
 
 
-def node_coordinate(node: DAGNode) -> tuple[float, float, float]:
-    """Weyl coordinate of a DAG node's two-qubit gate.
+def gate_coordinate(gate) -> tuple[float, float, float]:
+    """Weyl coordinate of a two-qubit gate.
 
     Uses, in order of preference: the coordinate annotation cached on a
     consolidated :class:`UnitaryGate` block, the closed-form coordinate of a
     named gate, or a (cached) extraction from the gate matrix.
     """
-    gate = node.gate
     if isinstance(gate, UnitaryGate) and gate.coordinate is not None:
         return gate.coordinate
     try:
         return coordinate_of_named_gate(gate.name, *gate.params).to_tuple()
     except ValueError:
         return GLOBAL_COORDINATE_CACHE.coordinate(gate.matrix())
+
+
+def node_coordinate(node: DAGNode) -> tuple[float, float, float]:
+    """Weyl coordinate of a DAG node's two-qubit gate."""
+    return gate_coordinate(node.gate)
 
 
 def gate_cost(node: DAGNode, coverage: CoverageSet) -> float:

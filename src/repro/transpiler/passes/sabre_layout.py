@@ -29,6 +29,7 @@ from repro.circuits.dag import DAGCircuit
 from repro.polytopes.coverage import CoverageSet
 from repro.transpiler import metrics as metrics_mod
 from repro.transpiler.executors import TrialExecutor, executor_scope
+from repro.transpiler.kernel import IntDAG, adopt_intdag, int_dag
 from repro.transpiler.layout import Layout
 from repro.transpiler.passes.sabre_swap import RoutingResult, SabreSwap
 from repro.transpiler.topologies import CouplingMap
@@ -156,6 +157,12 @@ class TrialSpec:
     neither builds nor ships it and its construction overlaps early trial
     execution on other workers.  The derivation is deterministic, keeping
     results byte-identical to an eagerly-built spec.
+
+    ``intdag`` is the flat-kernel lowering of ``dag``, built once by the
+    dispatcher and shipped as plain ndarrays through the zero-copy
+    transport (the pickle memo deduplicates it against the copy memoised
+    on ``dag`` itself).  Workers adopt it instead of re-lowering the DAG
+    per trial; ``None`` simply makes the first worker lower on demand.
     """
 
     dag: DAGCircuit
@@ -165,6 +172,7 @@ class TrialSpec:
     refinement_rounds: int
     routing_trials: int
     selection_metric: SelectionMetric
+    intdag: IntDAG | None = None
 
     def resolved_reverse_dag(self) -> DAGCircuit:
         """The reverse DAG, deriving (and caching) it when deferred.
@@ -248,6 +256,7 @@ def run_trial(spec: TrialSpec, ref: TrialRef) -> TrialOutcome:
     start = time.perf_counter()
     rng = np.random.default_rng(ref.seed)
     router = spec.router_factory(ref.trial_index)
+    adopt_intdag(spec.dag, spec.intdag)
     reverse_dag = spec.resolved_reverse_dag()
     layout = Layout.random(
         spec.dag.num_qubits, spec.coupling.num_qubits, seed=rng
@@ -391,6 +400,7 @@ class SabreLayout:
             refinement_rounds=self.refinement_rounds,
             routing_trials=self.routing_trials,
             selection_metric=self.selection_metric,
+            intdag=int_dag(dag),
         )
 
     def trial_refs(self) -> list[TrialRef]:

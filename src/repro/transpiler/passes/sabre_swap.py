@@ -23,6 +23,13 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import DAGCircuit, DAGNode
 from repro.circuits.gates import Gate
 from repro.linalg.random import _as_rng
+from repro.transpiler.kernel import (
+    KernelState,
+    int_dag,
+    neighbor_table,
+    route_kernel,
+    route_kernel_mode,
+)
 from repro.transpiler.layout import Layout
 from repro.transpiler.topologies import CouplingMap
 
@@ -100,8 +107,63 @@ class SabreSwap:
         initial_layout: Layout,
         seed: int | np.random.Generator | None = None,
     ) -> RoutingResult:
-        """Route ``dag`` starting from ``initial_layout``."""
+        """Route ``dag`` starting from ``initial_layout``.
+
+        Dispatches to the flat int-array kernel by default; setting
+        ``MIRAGE_ROUTE_KERNEL=object`` keeps the historical object walk
+        for differential testing.  Both paths are byte-identical at a
+        fixed seed.
+        """
         rng = _as_rng(seed) if seed is not None else self._rng
+        if route_kernel_mode() == "object":
+            return self._run_object(dag, initial_layout, rng)
+        return self._run_flat(dag, initial_layout, rng)
+
+    def _run_flat(
+        self,
+        dag: DAGCircuit,
+        initial_layout: Layout,
+        rng: np.random.Generator,
+    ) -> RoutingResult:
+        """Flat-kernel routing over the lowered int arrays."""
+        self._stats = {"mirrors": 0, "candidates": 0}
+        state = route_kernel(
+            int_dag(dag),
+            neighbor_table(self.coupling),
+            initial_layout.virtual_to_physical(),
+            rng,
+            extended_set_size=self.extended_set_size,
+            extended_set_weight=self.extended_set_weight,
+            decay_delta=self.decay_delta,
+            decay_reset_interval=self.decay_reset_interval,
+            stall_limit=10 * max(10, self.coupling.num_qubits),
+            commit=self._commit_two_qubit_flat,
+        )
+        out = DAGCircuit(self.coupling.num_qubits, dag.name)
+        for gate, physical in state.ops:
+            out.add_node(gate, physical)
+        return RoutingResult(
+            dag=out,
+            initial_layout=initial_layout.copy(),
+            final_layout=Layout(state.v2p, self.coupling.num_qubits),
+            swaps_added=state.swaps_added,
+            mirrors_accepted=self._stats["mirrors"],
+            mirror_candidates=self._stats["candidates"],
+        )
+
+    def _commit_two_qubit_flat(
+        self, state: KernelState, node_id: int, physical: tuple[int, int]
+    ) -> None:
+        """Flat twin of :meth:`_commit_two_qubit`.  MIRAGE overrides this."""
+        state.emit(node_id, physical)
+
+    def _run_object(
+        self,
+        dag: DAGCircuit,
+        initial_layout: Layout,
+        rng: np.random.Generator,
+    ) -> RoutingResult:
+        """Historical object-path routing (``MIRAGE_ROUTE_KERNEL=object``)."""
         layout = initial_layout.copy()
         out = DAGCircuit(self.coupling.num_qubits, dag.name)
 

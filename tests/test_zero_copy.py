@@ -35,6 +35,7 @@ from repro.transpiler.executors import (
     reset_worker_state,
     shm_transport_enabled,
     zero_copy_enabled,
+    zero_copy_inline_max,
 )
 
 needs_shm = pytest.mark.skipif(
@@ -294,7 +295,12 @@ def test_zero_copy_and_copy_results_identical():
 
 @needs_shm
 def test_coverage_set_arrays_become_shared_views():
-    """A published coverage set answers queries through zero-copy views."""
+    """A published coverage set answers queries through zero-copy views.
+
+    Arrays at or above the in-band threshold must arrive as read-only
+    segment views; smaller ones ride inside the pickle body as ordinary
+    (writable) copies — cheaper than an index entry plus padding.
+    """
     from repro.polytopes import get_coverage_set
 
     coverage = get_coverage_set("sqrt_iswap", num_samples=250, seed=3)
@@ -304,6 +310,7 @@ def test_coverage_set_arrays_become_shared_views():
         [np.pi / 8, np.pi / 16, 0.0],
     ])
     expected = coverage.cost_of_many(probes)
+    threshold = zero_copy_inline_max()
     handle = _publish_object(coverage)
     try:
         loaded = _load_payload(handle)
@@ -312,12 +319,51 @@ def test_coverage_set_arrays_become_shared_views():
             for piece in polytope.pieces:
                 lin_a, _ = piece.halfspaces
                 for array in (piece.points, lin_a):
-                    if array.size:
+                    if array.nbytes >= threshold:
                         assert array.flags.writeable is False
                         views += 1
         assert views > 0
         # The view-backed set answers exactly as the original.
         assert np.array_equal(loaded.cost_of_many(probes), expected)
+    finally:
+        _unlink_segment(handle.segment)
+        reset_worker_state()
+    assert _own_segments() == []
+
+
+@needs_shm
+def test_tiny_arrays_stay_in_band_and_shrink_the_header(monkeypatch):
+    """Sub-threshold arrays must not earn index-header entries.
+
+    A payload with one big array and many tiny ones gets a header sized
+    for the big sections only; forcing the threshold to 0 restores the
+    export-everything layout and the header grows accordingly.
+    """
+    tiny = {f"t{i}": np.arange(4, dtype=np.int64) for i in range(32)}
+    payload = {"big": np.arange(512, dtype=float), **tiny}
+
+    handle = _publish_object(payload)
+    try:
+        # Sections: pickle body + the one big array.
+        assert handle.header == 16 + 16 * 2
+        loaded = _load_payload(handle)
+        assert loaded["big"].flags.writeable is False
+        for i in range(32):
+            array = loaded[f"t{i}"]
+            assert array.flags.writeable is True  # in-band copy
+            assert np.array_equal(array, tiny[f"t{i}"])
+    finally:
+        _unlink_segment(handle.segment)
+        reset_worker_state()
+
+    monkeypatch.setenv("MIRAGE_ZEROCOPY_INLINE_MAX", "0")
+    assert zero_copy_inline_max() == 0
+    handle = _publish_object(payload)
+    try:
+        # Every contiguous buffer exported: body + big + 32 tiny arrays.
+        assert handle.header == 16 + 16 * 34
+        loaded = _load_payload(handle)
+        assert loaded["t0"].flags.writeable is False
     finally:
         _unlink_segment(handle.segment)
         reset_worker_state()

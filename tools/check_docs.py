@@ -52,6 +52,13 @@ PUBLIC_API = [
     ("repro.transpiler.executors", "PayloadHandle"),
     ("repro.transpiler.executors", "shm_transport_enabled"),
     ("repro.transpiler.executors", "zero_copy_enabled"),
+    ("repro.transpiler.executors", "zero_copy_inline_max"),
+    ("repro.transpiler.kernel.intdag", "IntDAG"),
+    ("repro.transpiler.kernel.intdag", "int_dag"),
+    ("repro.transpiler.kernel.neighbors", "NeighborTable"),
+    ("repro.transpiler.kernel.neighbors", "neighbor_table"),
+    ("repro.transpiler.kernel.route", "route_kernel"),
+    ("repro.transpiler.kernel.route", "route_kernel_mode"),
     ("repro.transpiler.passes.sabre_layout", "run_trial"),
     ("repro.core.pipeline", "run_plan"),
     ("repro.core.pipeline", "PlanSpec"),
