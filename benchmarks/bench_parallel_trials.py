@@ -528,6 +528,28 @@ def main() -> None:
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
 
+    # Fault-tolerance provenance: every dispatch must carry the recovery
+    # counters, and a clean (fault-free) benchmark run must report them
+    # all zero — retries or respawns here mean the environment, not the
+    # workload, is flaky, and the timing numbers above are suspect.
+    for label, dispatch in (
+        ("batch-fanout stream", batch["dispatch"]),
+        ("batch-fanout barrier", batch["dispatch_barrier"]),
+        ("batch-fanout blob", batch["dispatch_blob"]),
+        ("plan-fanout executor", plan["dispatch_executor"]),
+    ):
+        for counter in ("retries", "respawns", "lost_tasks",
+                        "executor_downgrades", "transport_downgrades"):
+            assert counter in dispatch, (
+                f"{label}: dispatch provenance lacks {counter!r}"
+            )
+            assert dispatch[counter] == 0, (
+                f"{label}: clean run reported {counter}="
+                f"{dispatch[counter]} — recovered faults during a "
+                f"benchmark invalidate its timings"
+            )
+    print("fault-tolerance provenance OK: all recovery counters zero")
+
     if args.assert_shm:
         dispatch = batch["dispatch"]
         assert batch["shm_transport"], (

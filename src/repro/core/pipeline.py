@@ -540,7 +540,10 @@ def run_plan(spec: PlanSpec, task: PlanTask) -> PlanOutcome:
     planner builds, seeded with the same per-circuit ``SeedSequence`` —
     and returns the full planned :class:`PipelineState`.  Determinism of
     every front stage makes the outcome byte-identical no matter which
-    process ran it.
+    process ran it — and, equally, no matter how many times it runs: the
+    fault-tolerant dispatch layer replays lost planning tasks after a
+    worker crash or hang, relying on exactly this purity to keep
+    fixed-seed batch outputs identical to an undisturbed run.
     """
     start = time.perf_counter()
     front = build_batch_front_pipeline(

@@ -374,15 +374,25 @@ def _run_circuit_fanout(
     if scheduler == "stream":
         session = trial_executor.open_dispatch(run_trial, anchors=(coverage,))
         if session is not None:
-            if _effective_plan_mode(plan, session) == "executor":
-                return _stream_executor_plan_fanout(
-                    batch, plan_spec, circuit_seeds, trial_executor, session,
+            # The engines close the session in their own ``finally`` from
+            # the first statement on; this outer guard covers the window
+            # before an engine takes ownership (plan-mode resolution, a
+            # ``KeyboardInterrupt`` landing between the calls), so every
+            # published segment is unlinked on *every* exit path.
+            # ``close`` is idempotent, so double-closing is harmless.
+            try:
+                if _effective_plan_mode(plan, session) == "executor":
+                    return _stream_executor_plan_fanout(
+                        batch, plan_spec, circuit_seeds, trial_executor,
+                        session, stats_before,
+                    )
+                return _stream_circuit_fanout(
+                    batch, plan_front, circuit_seeds, trial_executor, session,
                     stats_before,
                 )
-            return _stream_circuit_fanout(
-                batch, plan_front, circuit_seeds, trial_executor, session,
-                stats_before,
-            )
+            except BaseException:
+                session.close()
+                raise
     return _barrier_circuit_fanout(
         batch, plan_front, circuit_seeds, trial_executor, stats_before
     )

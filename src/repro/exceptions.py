@@ -28,6 +28,18 @@ class TranspilerError(ReproError):
     """Raised by transpiler passes (layout, routing, basis translation)."""
 
 
+class TransportError(TranspilerError):
+    """Raised when a dispatch transport resource is lost or corrupted.
+
+    Distinguishes *recoverable* transport failures — a shared-memory
+    payload segment that vanished before a worker could attach it, or a
+    payload whose bytes no longer match their content digest — from task
+    bugs: the fault-tolerant dispatch layer retries work that failed with
+    a :class:`TransportError` (republishing the payload inline if need
+    be), while any other exception from a task propagates unchanged.
+    """
+
+
 class CoverageError(ReproError):
     """Raised when a coverage set cannot answer a membership/cost query."""
 

@@ -92,12 +92,48 @@ unlinks the segment name (POSIX keeps the mapping alive).  Setting
 hosts without shared memory keep the inline-blob transport; results are
 byte-identical in every mode.
 
+Fault-tolerant dispatch
+-----------------------
+
+Worker processes die, hang and return garbage; long-lived batch services
+must absorb all three without aborting (or silently corrupting) a batch.
+Every dispatch path therefore recovers per *chunk*:
+
+* **Crash recovery** — a chunk that fails with ``BrokenProcessPool`` (a
+  worker died), a cancelled future, or a :class:`TransportError` (its
+  payload segment vanished) is replayed: the pool is respawned once per
+  failure generation, the chunk's tasks — which carry their own
+  ``SeedSequence`` streams — are re-submitted, and the recovery is
+  recorded under the ``retries``/``respawns``/``lost_tasks`` dispatch
+  counters.  Replay is byte-identical to an uninterrupted run because
+  results depend only on ``(payload, task)``.
+* **Timeouts** — with ``MIRAGE_TASK_TIMEOUT`` set (seconds), a session
+  watchdog kills the pool under any chunk that outlives its deadline,
+  converting a hung worker into the crash case above; re-dispatches back
+  off exponentially (capped) between attempts.  ``MIRAGE_TASK_RETRIES``
+  bounds the attempts per chunk (default 3).
+* **Graceful degradation** — a chunk that exhausts its retry budget
+  steps down the executor ladder: it runs in-process (on a dedicated
+  thread, falling back to inline serial execution) against the
+  dispatcher's own copy of the payload, counted under
+  ``executor_downgrades``.  A payload whose segment was lost steps down
+  the transport ladder — republished as an inline pickle blob riding
+  each chunk, counted under ``transport_downgrades``.  Outputs are
+  byte-identical on every rung.
+* **Fault injection** — :mod:`repro.transpiler.faults` turns
+  ``MIRAGE_FAULT_PLAN`` into per-chunk fault records resolved at submit
+  time, so kills/hangs/corruptions strike exact task ordinals; replayed
+  chunks are dispatched with their faults disarmed.
+
 Each executor records how much serialisation and transport the last
 calls cost in :attr:`TrialExecutor.dispatch_stats` (``shared_pickles``,
 ``payload_pickles``, ``plan_payloads``, ``chunks``, ``tasks``,
 ``plan_tasks``, ``shm_segments``, ``bytes_shipped``, ``header_bytes``
 and worker-side ``bytes_copied``), which the batch engine surfaces as
 provenance and the test suite uses as a re-pickling regression check.
+The recovery counters (``retries``, ``respawns``, ``lost_tasks``,
+``executor_downgrades``, ``transport_downgrades``) live in the same
+dict and are all zero on a clean run.
 """
 
 from __future__ import annotations
@@ -114,10 +150,19 @@ import pickle
 import secrets
 import struct
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
-from repro.exceptions import TranspilerError
+from repro.exceptions import TranspilerError, TransportError
+from repro.transpiler.faults import (
+    ChunkFaults,
+    CorruptResult,
+    CorruptResultError,
+    FaultPlan,
+    InjectedWorkerCrash,
+    reap_stale_segments,
+)
 
 try:  # POSIX shared memory is optional — everything degrades to blobs.
     from multiprocessing import shared_memory as _shared_memory
@@ -228,13 +273,117 @@ def zero_copy_inline_max() -> int:
         return _ZEROCOPY_INLINE_MAX_DEFAULT
 
 
+#: Default for :func:`task_retries` — how often a lost chunk is replayed
+#: before the dispatch degrades to in-process execution.
+_TASK_RETRIES_DEFAULT = 3
+
+#: Capped exponential backoff between chunk re-dispatches (seconds).
+_RETRY_BACKOFF_BASE = 0.05
+_RETRY_BACKOFF_CAP = 1.0
+
+
+def task_timeout() -> float | None:
+    """Per-chunk deadline in seconds, or ``None`` for no deadline.
+
+    Read from ``MIRAGE_TASK_TIMEOUT`` per dispatch, like the transport
+    switches.  When set, a chunk whose workers have not delivered within
+    the deadline is presumed hung: the pool under it is torn down (the
+    ``respawns`` counter advances) and the chunk's tasks are replayed.
+    Unset, empty, non-numeric or non-positive values disable deadlines.
+    """
+    value = os.environ.get("MIRAGE_TASK_TIMEOUT", "").strip()
+    if not value:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds > 0 else None
+
+
+def task_retries() -> int:
+    """Replay budget per chunk before stepping down the executor ladder.
+
+    Read from ``MIRAGE_TASK_RETRIES`` per dispatch (default 3, floor 0).
+    A chunk lost to a worker crash, hang or transport failure is
+    re-dispatched up to this many times — with capped exponential
+    backoff between attempts — before the session degrades it to
+    in-process execution (counted under ``executor_downgrades``).
+    """
+    value = os.environ.get("MIRAGE_TASK_RETRIES", "").strip()
+    if not value:
+        return _TASK_RETRIES_DEFAULT
+    try:
+        return max(0, int(value))
+    except ValueError:
+        return _TASK_RETRIES_DEFAULT
+
+
+def _retry_backoff(attempt: int) -> float:
+    """Delay before re-dispatch ``attempt`` (1-based), capped exponential."""
+    return min(_RETRY_BACKOFF_CAP, _RETRY_BACKOFF_BASE * 2 ** max(0, attempt - 1))
+
+
+class _DispatchInterrupted(TranspilerError):
+    """A chunk could not even be submitted (pool broken/closed under us)."""
+
+
+#: Failure types the dispatch layer treats as *recoverable worker loss*
+#: (replay the chunk) rather than task bugs (propagate).  Anything else
+#: raised by a task travels to the caller unchanged.
+_RETRYABLE_ERRORS = (
+    concurrent.futures.BrokenExecutor,
+    concurrent.futures.CancelledError,
+    concurrent.futures.TimeoutError,
+    TimeoutError,
+    TransportError,
+    InjectedWorkerCrash,
+    _DispatchInterrupted,
+)
+
+
+def _is_retryable(error: BaseException) -> bool:
+    """Whether a chunk failure is recoverable worker/transport loss."""
+    return isinstance(error, _RETRYABLE_ERRORS)
+
+
+def _guard_chunk_results(results: list) -> list:
+    """Reject chunks whose workers returned garbage.
+
+    Injected ``corrupt`` faults (and, in a real deployment, checksum
+    validators) surface as :class:`CorruptResult` markers in the result
+    list; converting them into :class:`CorruptResultError` here routes
+    them through the same replay path as a crashed worker.
+    """
+    for result in results:
+        if isinstance(result, CorruptResult):
+            raise CorruptResultError(
+                f"worker returned corrupt result at chunk offset "
+                f"{result.ordinal}"
+            )
+    return results
+
+
 @atexit.register
-def _cleanup_segments() -> None:  # pragma: no cover - exercised at exit
-    """Last-resort guard: unlink created and close attached segments."""
+def _cleanup_segments() -> None:
+    """Last-resort guard: unlink created and close attached segments.
+
+    Registered with ``atexit`` but also safe to call directly (the
+    fault-injection tests do).  Idempotent — every registry it drains is
+    cleared, so a second invocation finds nothing to do — and tolerant
+    of segments that were already unlinked by their normal ``finally``
+    path or by a sibling process (:func:`_unlink_segment` swallows
+    ``FileNotFoundError``).  Entries inherited from a forked parent are
+    dropped without unlinking: the parent may still be serving workers
+    from those segments.
+    """
     pid = os.getpid()
     for name, owner in list(_created_segments.items()):
         if owner == pid:
             _unlink_segment(name)
+        else:
+            # Forked child inheriting the parent's registry — not ours.
+            _created_segments.pop(name, None)
     for shm in list(_attached_segments.values()):
         with contextlib.suppress(Exception):
             shm.close()
@@ -356,9 +505,19 @@ def _attach_segment(name: str):
     registers even plain attaches with the resource tracker, which would
     unlink the dispatcher's segment when a worker exits — so the
     registration is undone explicitly on those versions.
+
+    A segment that no longer exists raises
+    :class:`~repro.exceptions.TransportError` (not a bare
+    ``FileNotFoundError``): a vanished segment is recoverable transport
+    loss — the dispatcher republishes the payload and replays the chunk —
+    and must stay distinguishable from task bugs.
     """
     try:
         return _shared_memory.SharedMemory(name=name, track=False)
+    except FileNotFoundError:
+        raise TransportError(
+            f"payload segment {name!r} vanished before attach"
+        ) from None
     except TypeError:
         pass
     # Pre-3.13 fallback: plain attaches register with the resource
@@ -375,6 +534,10 @@ def _attach_segment(name: str):
     try:
         resource_tracker.register = lambda *args, **kwargs: None
         return _shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:  # pragma: no cover - pre-3.13 path
+        raise TransportError(
+            f"payload segment {name!r} vanished before attach"
+        ) from None
     finally:
         resource_tracker.register = original_register
 
@@ -444,7 +607,11 @@ class PayloadHandle:
 
         Only valid for whole-blob payloads; zero-copy (out-of-band)
         payloads have no single byte string to fetch — they are
-        deserialised in place via :func:`_load_payload`.
+        deserialised in place via :func:`_load_payload`.  A segment that
+        vanished before the attach raises
+        :class:`~repro.exceptions.TransportError`, which the dispatch
+        layer treats as recoverable (replay with a republished payload)
+        rather than a task bug.
         """
         if self.header:
             raise TranspilerError(
@@ -783,21 +950,42 @@ def _load_shared(handle: PayloadHandle) -> object:
     return _load_payload(handle)
 
 
+def _run_tasks(
+    fn: Callable[[object, object], object],
+    shared: object,
+    tasks: Sequence[object],
+    faults: "ChunkFaults | None",
+) -> list[object]:
+    """Evaluate a chunk's tasks, firing any injected faults positionally."""
+    if faults is None:
+        return [fn(shared, task) for task in tasks]
+    results: list[object] = []
+    for offset, task in enumerate(tasks):
+        faults.before_task(offset)
+        results.append(faults.after_task(offset, fn(shared, task)))
+    return results
+
+
 def _run_shared_chunk(
     handle: PayloadHandle,
     fn: Callable[[object, object], object],
     tasks: Sequence[object],
+    faults: "ChunkFaults | None" = None,
 ) -> tuple[list[object], int]:
     """Evaluate one chunk of light tasks against the memoised payload.
 
     Returns the chunk's results plus the payload bytes this call
     materialised worker-side (zero when the payload was already memoised
-    or arrived as zero-copy views).
+    or arrived as zero-copy views).  ``faults`` carries any injected
+    failures aimed at this chunk (first dispatch only — replays arrive
+    disarmed).
     """
     global _worker_bytes_copied
     before = _worker_bytes_copied
+    if faults is not None:
+        faults.check_transport()
     shared = _load_payload(handle)
-    results = [fn(shared, task) for task in tasks]
+    results = _run_tasks(fn, shared, tasks, faults)
     return results, _worker_bytes_copied - before
 
 
@@ -807,23 +995,33 @@ def _run_session_chunk(
     fn: Callable[[object, object], object],
     tasks: Sequence[object],
     encode: bool = False,
+    faults: "ChunkFaults | None" = None,
 ) -> tuple[list[object], int]:
     """Evaluate one streamed chunk against its anchored payload.
 
     With ``encode=True`` each result is re-pickled with persistent
     references to the session anchors before travelling back, so heavy
     anchor objects (the coverage set) never ride the return path — the
-    parent resolves them via :meth:`DispatchSession.decode`.
+    parent resolves them via :meth:`DispatchSession.decode`.  Injected
+    :class:`CorruptResult` markers skip the encode step so the parent
+    can detect them without decoding.
     """
     global _worker_bytes_copied
     before = _worker_bytes_copied
+    if faults is not None:
+        faults.check_transport()
     anchors: Sequence[object] = ()
     if anchor_handle is not None:
         anchors = _load_payload(anchor_handle)
     shared = _load_payload(payload_handle, anchor_handle)
-    results = [fn(shared, task) for task in tasks]
+    results = _run_tasks(fn, shared, tasks, faults)
     if encode:
-        results = [_dumps_anchored(result, anchors) for result in results]
+        results = [
+            result
+            if isinstance(result, CorruptResult)
+            else _dumps_anchored(result, anchors)
+            for result in results
+        ]
     return results, _worker_bytes_copied - before
 
 
@@ -831,9 +1029,12 @@ def _run_local_chunk(
     fn: Callable[[object, object], object],
     shared: object,
     tasks: Sequence[object],
+    faults: "ChunkFaults | None" = None,
 ) -> list[object]:
     """In-process chunk evaluation for serial/thread dispatch sessions."""
-    return [fn(shared, task) for task in tasks]
+    if faults is not None:
+        faults.check_transport()
+    return _run_tasks(fn, shared, tasks, faults)
 
 
 def _chunk(tasks: Sequence[_Task], size: int) -> Iterator[Sequence[_Task]]:
@@ -860,6 +1061,17 @@ class DispatchSession:
     keys instead of ``tasks``/``payload_pickles``.  Results submitted
     with ``encode=True`` come back anchor-encoded from serialising
     transports and must run through :meth:`decode`.
+
+    Sessions are fault tolerant: a chunk lost to a worker crash, hang or
+    transport failure is replayed (same tasks, same seeds — replay is
+    byte-identical) within the ``MIRAGE_TASK_RETRIES`` budget, and the
+    recovery is visible in the executor's dispatch counters.  When a
+    ``MIRAGE_FAULT_PLAN`` is active the session snapshots it at open
+    time and resolves it into per-chunk fault records at submit time —
+    the fault ordinals (one counter per task kind, plus a global chunk
+    counter) are assigned on the submitting thread, so injected failures
+    strike exact positions regardless of worker scheduling, and replays
+    are dispatched with their faults disarmed.
     """
 
     #: Whether submitted chunks can execute concurrently with the
@@ -870,6 +1082,28 @@ class DispatchSession:
         self.fn = fn
         self._futures: list[concurrent.futures.Future] = []
         self._closed = False
+        self._fault_plan = FaultPlan.from_env()
+        self._fault_counts = {"trial": 0, "plan": 0}
+        self._fault_chunk_ordinal = 0
+
+    def _next_chunk_faults(
+        self, kind: str, count: int
+    ) -> "ChunkFaults | None":
+        """Resolve the active fault plan against one about-to-go chunk.
+
+        Advances this session's per-kind task ordinals and the global
+        chunk ordinal (submit happens on the producer thread, so plain
+        counters suffice); returns ``None`` — the hot-path case — when no
+        plan is active or no fault lands in the chunk.
+        """
+        if self._fault_plan is None:
+            return None
+        key = "plan" if kind == "plan" else "trial"
+        start = self._fault_counts[key]
+        self._fault_counts[key] = start + count
+        ordinal = self._fault_chunk_ordinal
+        self._fault_chunk_ordinal += 1
+        return self._fault_plan.chunk_faults(key, start, count, ordinal)
 
     def _count_submit(
         self, kind: str, chunks: int, tasks: int, bytes_shipped: int = 0
@@ -969,6 +1203,36 @@ class _LocalDispatchSession(DispatchSession):
         self._payloads[slot] = None
 
 
+def _run_local_chunk_recovering(
+    executor: "TrialExecutor",
+    fn: Callable[[Any, Any], Any],
+    shared: object,
+    tasks: Sequence[object],
+    faults: "ChunkFaults | None",
+) -> list[object]:
+    """In-process chunk evaluation with the session retry contract.
+
+    Serial and thread sessions have no process boundary — a worker
+    cannot die for real — but injected crashes and transport faults must
+    follow the same recover-and-replay path as the process transport so
+    every executor honours the fault plan.  Retries are immediate (no
+    backoff: nothing to wait out in-process) and are disarmed replays,
+    counted under the same ``retries``/``lost_tasks`` keys.
+    """
+    attempts = 0
+    while True:
+        try:
+            return _guard_chunk_results(
+                _run_local_chunk(fn, shared, tasks, faults)
+            )
+        except _RETRYABLE_ERRORS:
+            if attempts >= task_retries():
+                raise
+            attempts += 1
+            faults = None
+            executor._count_dispatch(retries=1, lost_tasks=len(tasks))
+
+
 class _InlineDispatchSession(_LocalDispatchSession):
     """Serial session: chunks run at submit time, futures are pre-resolved."""
 
@@ -982,9 +1246,13 @@ class _InlineDispatchSession(_LocalDispatchSession):
         kind: str = "trial",
     ) -> list[concurrent.futures.Future]:
         future: concurrent.futures.Future = concurrent.futures.Future()
+        faults = self._next_chunk_faults(kind, len(tasks))
         try:
             future.set_result(
-                _run_local_chunk(fn or self.fn, self._payloads[slot], tasks)
+                _run_local_chunk_recovering(
+                    self._executor, fn or self.fn, self._payloads[slot],
+                    tasks, faults,
+                )
             )
         except BaseException as error:  # noqa: BLE001 - mirror pool futures
             future.set_exception(error)
@@ -1012,13 +1280,55 @@ class _ThreadDispatchSession(_LocalDispatchSession):
         size = max(1, math.ceil(len(batch) / workers))
         futures = [
             pool.submit(
-                _run_local_chunk, fn or self.fn, self._payloads[slot], chunk
+                _run_local_chunk_recovering,
+                self._executor,
+                fn or self.fn,
+                self._payloads[slot],
+                chunk,
+                self._next_chunk_faults(kind, len(chunk)),
             )
             for chunk in _chunk(batch, size)
         ]
         self._futures.extend(futures)
         self._count_submit(kind, len(futures), len(batch))
         return futures
+
+
+class _ChunkRecord:
+    """Dispatch bookkeeping of one chunk, across retries and downgrades.
+
+    Created at :meth:`_ShmDispatchSession.submit` time and kept until
+    its ``wrapped`` future settles; ``raw`` / ``generation`` /
+    ``submitted`` describe the *current* pool attempt (the watchdog
+    reads them to spot hung chunks), ``attempts`` counts replays, and
+    ``faults`` carries the injected failures of the first dispatch only.
+    """
+
+    __slots__ = (
+        "slot", "fn", "tasks", "encode", "kind", "faults", "attempts",
+        "wrapped", "raw", "generation", "submitted",
+    )
+
+    def __init__(
+        self,
+        slot: int,
+        fn: Callable[[Any, Any], Any],
+        tasks: Sequence[object],
+        encode: bool,
+        kind: str,
+        faults: "ChunkFaults | None",
+    ) -> None:
+        self.slot = slot
+        self.fn = fn
+        self.tasks = tasks
+        self.encode = encode
+        self.kind = kind
+        self.faults = faults
+        self.attempts = 0
+        self.wrapped: concurrent.futures.Future = concurrent.futures.Future()
+        self.raw: concurrent.futures.Future | None = None
+        self.generation = -1
+        self.submitted: float | None = None
 
 
 class _ShmDispatchSession(DispatchSession):
@@ -1033,6 +1343,17 @@ class _ShmDispatchSession(DispatchSession):
     the open-time probe passed) degrades that one payload to inline-blob
     shipping — correct, observable via ``bytes_shipped``, and bounded to
     the few chunks of the affected circuit.
+
+    Every chunk runs under a retry controller: callers receive a
+    *wrapped* future that only settles once the chunk either delivered
+    results (possibly after pool respawns, transport downgrades and
+    replays) or failed for a non-recoverable reason.  A hung chunk is
+    caught by the session watchdog (``MIRAGE_TASK_TIMEOUT``), which
+    tears the pool down under it and lets the broken-pool replay path
+    take over; a chunk that exhausts ``MIRAGE_TASK_RETRIES`` steps off
+    the pool entirely and runs in-process against the dispatcher's own
+    copy of the payload.  All recovery is invisible to callers except
+    through the dispatch counters.
     """
 
     parallel = True
@@ -1047,8 +1368,12 @@ class _ShmDispatchSession(DispatchSession):
         self._executor = executor
         self._anchors = tuple(anchors)
         self._handles: list[PayloadHandle | None] = []
+        self._payload_objects: list[object] = []
         self._segments: list[str] = []
         self._anchor_handle: PayloadHandle | None = None
+        self._retry_lock = threading.Lock()
+        self._inflight: dict[int, _ChunkRecord] = {}
+        self._watchdog: threading.Thread | None = None
         if self._anchors:
             self._anchor_handle = self._record(self._anchors, ())
             executor._count_dispatch(shared_pickles=1)
@@ -1067,6 +1392,10 @@ class _ShmDispatchSession(DispatchSession):
     def add_payload(self, payload: object, kind: str = "payload") -> int:
         handle = self._record(payload, self._anchors)
         self._handles.append(handle)
+        # The dispatcher's own reference survives until release: it is
+        # the replay source for transport downgrades and the payload of
+        # last-resort in-process execution.
+        self._payload_objects.append(payload)
         self._count_payload(kind)
         return len(self._handles) - 1
 
@@ -1075,6 +1404,7 @@ class _ShmDispatchSession(DispatchSession):
         if handle is None:
             return
         self._handles[slot] = None
+        self._payload_objects[slot] = None
         if handle.segment is not None:
             with contextlib.suppress(ValueError):
                 self._segments.remove(handle.segment)
@@ -1083,30 +1413,221 @@ class _ShmDispatchSession(DispatchSession):
     def decode(self, result: object) -> object:
         return _loads_anchored(result, self._anchors)
 
-    def _wrap_chunk_future(
-        self, raw: concurrent.futures.Future
-    ) -> concurrent.futures.Future:
-        """Unwrap ``(results, bytes_copied)`` chunk returns transparently.
+    # -- retry controller --------------------------------------------------
 
-        The worker-side copy count is folded into the executor's
-        dispatch stats as chunks complete; callers see a future whose
-        result is just the chunk's result list, exactly as the local
-        sessions deliver it.
-        """
-        wrapped: concurrent.futures.Future = concurrent.futures.Future()
+    def _launch(self, record: _ChunkRecord) -> None:
+        """(Re-)dispatch one chunk on the executor's current pool."""
         executor = self._executor
+        record.generation = executor._pool_generation
+        record.submitted = time.monotonic()
+        try:
+            pool = executor._ensure_pool()
+            handle = self._handles[record.slot]
+            if handle is None:
+                raise TranspilerError(
+                    "payload slot released with chunks still in flight"
+                )
+            raw = pool.submit(
+                _run_session_chunk,
+                self._anchor_handle,
+                handle,
+                record.fn,
+                record.tasks,
+                record.encode,
+                record.faults,
+            )
+        except concurrent.futures.BrokenExecutor as error:
+            self._handle_failure(record, error)
+            return
+        except RuntimeError as error:
+            # Pool shut down between generation read and submit.
+            self._handle_failure(record, _DispatchInterrupted(str(error)))
+            return
+        record.raw = raw
+        raw.add_done_callback(functools.partial(self._on_raw_done, record))
 
-        def _transfer(done: concurrent.futures.Future) -> None:
-            error = done.exception()
-            if error is not None:
-                wrapped.set_exception(error)
-                return
+    def _on_raw_done(
+        self, record: _ChunkRecord, done: concurrent.futures.Future
+    ) -> None:
+        """Settle, or route into recovery, one completed pool future."""
+        try:
+            error: BaseException | None = done.exception()
+        except concurrent.futures.CancelledError as cancelled:
+            error = cancelled
+        if error is None:
             results, copied = done.result()
-            executor._count_dispatch(bytes_copied=copied)
-            wrapped.set_result(results)
+            corrupt = next(
+                (r for r in results if isinstance(r, CorruptResult)), None
+            )
+            if corrupt is None:
+                self._executor._count_dispatch(bytes_copied=copied)
+                self._settle(record, results)
+                return
+            error = CorruptResultError(
+                f"worker returned corrupt result at chunk offset "
+                f"{corrupt.ordinal}"
+            )
+        self._handle_failure(record, error)
 
-        raw.add_done_callback(_transfer)
-        return wrapped
+    def _settle(self, record: _ChunkRecord, results: list) -> None:
+        with self._retry_lock:
+            self._inflight.pop(id(record), None)
+        record.wrapped.set_result(results)
+
+    def _settle_error(self, record: _ChunkRecord, error: BaseException) -> None:
+        with self._retry_lock:
+            self._inflight.pop(id(record), None)
+        record.wrapped.set_exception(error)
+
+    def _handle_failure(
+        self, record: _ChunkRecord, error: BaseException
+    ) -> None:
+        """Recover a failed chunk: respawn, downgrade, back off, replay."""
+        if not _is_retryable(error):
+            self._settle_error(record, error)
+            return
+        executor = self._executor
+        record.faults = None  # replays run clean
+        record.attempts += 1
+        executor._count_dispatch(retries=1, lost_tasks=len(record.tasks))
+        if isinstance(
+            error,
+            (
+                concurrent.futures.BrokenExecutor,
+                concurrent.futures.CancelledError,
+                _DispatchInterrupted,
+            ),
+        ):
+            executor._respawn_pool(record.generation)
+        if isinstance(error, TransportError) and not isinstance(
+            error, CorruptResultError
+        ):
+            self._downgrade_transport(record.slot)
+        if record.attempts > task_retries():
+            self._degrade_chunk(record)
+            return
+        timer = threading.Timer(
+            _retry_backoff(record.attempts), self._relaunch, args=(record,)
+        )
+        timer.daemon = True
+        timer.start()
+
+    def _relaunch(self, record: _ChunkRecord) -> None:
+        try:
+            self._launch(record)
+        except BaseException as error:  # pragma: no cover - defensive
+            self._settle_error(record, error)
+
+    def _downgrade_transport(self, slot: int) -> None:
+        """Step a payload down the transport ladder: shm → inline blob.
+
+        Republishes the slot's payload from the dispatcher's retained
+        reference as a plain pickle blob riding every future chunk —
+        byte-identical results, no segment to lose twice.  The vanished
+        (or still-live-but-suspect) segment is unlinked; workers that
+        already memoised the payload keep their mapping (POSIX semantics)
+        and are unaffected.
+        """
+        payload = self._payload_objects[slot]
+        handle = self._handles[slot]
+        if payload is None or handle is None or handle.segment is None:
+            return
+        blob = _dumps_anchored(payload, self._anchors)
+        self._handles[slot] = PayloadHandle(
+            digest=hashlib.sha1(blob).hexdigest(), size=len(blob), blob=blob
+        )
+        with contextlib.suppress(ValueError):
+            self._segments.remove(handle.segment)
+        _unlink_segment(handle.segment)
+        self._executor._count_dispatch(transport_downgrades=1)
+
+    def _degrade_chunk(self, record: _ChunkRecord) -> None:
+        """Step a chunk down the executor ladder: pool → thread → serial.
+
+        The retry budget is spent; rather than fail the batch, the chunk
+        runs in-process against the dispatcher's retained payload object
+        (no transport at all) on a dedicated thread — or inline on the
+        calling thread when thread creation is impossible (interpreter
+        shutdown).  Counted under ``executor_downgrades``.
+        """
+        self._executor._count_dispatch(executor_downgrades=1)
+        try:
+            thread = threading.Thread(
+                target=self._run_degraded,
+                args=(record,),
+                name="mirage-degraded-chunk",
+                daemon=True,
+            )
+            thread.start()
+        except RuntimeError:  # pragma: no cover - interpreter shutdown
+            self._run_degraded(record)
+
+    def _run_degraded(self, record: _ChunkRecord) -> None:
+        try:
+            payload = self._payload_objects[record.slot]
+            if payload is None:
+                raise TranspilerError(
+                    "payload slot released with chunks still in flight"
+                )
+            results = _guard_chunk_results(
+                _run_local_chunk(record.fn, payload, record.tasks, None)
+            )
+            if record.encode:
+                results = [
+                    _dumps_anchored(result, self._anchors)
+                    for result in results
+                ]
+        except BaseException as error:  # noqa: BLE001 - settle, don't lose
+            self._settle_error(record, error)
+        else:
+            self._settle(record, results)
+
+    # -- watchdog ----------------------------------------------------------
+
+    def _ensure_watchdog(self) -> None:
+        if self._watchdog is not None or task_timeout() is None:
+            return
+        with self._retry_lock:
+            if self._watchdog is None:
+                self._watchdog = threading.Thread(
+                    target=self._watchdog_loop,
+                    name="mirage-dispatch-watchdog",
+                    daemon=True,
+                )
+                self._watchdog.start()
+
+    def _watchdog_loop(self) -> None:
+        """Kill the pool under chunks that outlive their deadline.
+
+        A process pool cannot cancel a running task, so a hung chunk is
+        recovered by force: terminating the workers breaks the pool,
+        every pending raw future fails with ``BrokenProcessPool``, and
+        the ordinary crash-replay path re-dispatches the lost chunks on
+        a fresh pool.  Runs until the session is closed *and* nothing is
+        left in flight, so a close racing a hang still drains.
+        """
+        while True:
+            with self._retry_lock:
+                records = list(self._inflight.values())
+            if self._closed and not records:
+                return
+            deadline = task_timeout()
+            if deadline is None:
+                time.sleep(0.05)
+                continue
+            now = time.monotonic()
+            for record in records:
+                raw = record.raw
+                if (
+                    raw is not None
+                    and not raw.done()
+                    and record.submitted is not None
+                    and now - record.submitted > deadline
+                ):
+                    self._executor._respawn_pool(record.generation)
+            time.sleep(max(0.01, min(0.05, deadline / 4)))
+
+    # -- submission --------------------------------------------------------
 
     def submit(
         self,
@@ -1117,24 +1638,25 @@ class _ShmDispatchSession(DispatchSession):
         encode: bool = False,
         kind: str = "trial",
     ) -> list[concurrent.futures.Future]:
-        pool = self._executor._ensure_pool()
         batch = list(tasks)
         handle = self._handles[slot]
         workers = self._executor.max_workers or os.cpu_count() or 1
         size = max(1, math.ceil(len(batch) / (workers * CHUNKS_PER_WORKER)))
-        futures = [
-            self._wrap_chunk_future(
-                pool.submit(
-                    _run_session_chunk,
-                    self._anchor_handle,
-                    handle,
-                    fn or self.fn,
-                    chunk,
-                    encode,
-                )
+        futures: list[concurrent.futures.Future] = []
+        for chunk in _chunk(batch, size):
+            record = _ChunkRecord(
+                slot=slot,
+                fn=fn or self.fn,
+                tasks=chunk,
+                encode=encode,
+                kind=kind,
+                faults=self._next_chunk_faults(kind, len(chunk)),
             )
-            for chunk in _chunk(batch, size)
-        ]
+            with self._retry_lock:
+                self._inflight[id(record)] = record
+            futures.append(record.wrapped)
+            self._launch(record)
+        self._ensure_watchdog()
         self._futures.extend(futures)
         shipped = handle.shipped_bytes + (
             self._anchor_handle.shipped_bytes if self._anchor_handle else 0
@@ -1172,6 +1694,12 @@ class TrialExecutor:
             "bytes_shipped": 0,
             "header_bytes": 0,
             "bytes_copied": 0,
+            # Fault-tolerance counters — all zero on a clean run.
+            "retries": 0,
+            "respawns": 0,
+            "lost_tasks": 0,
+            "executor_downgrades": 0,
+            "transport_downgrades": 0,
         }
         # Chunk completion callbacks fold worker-side copy counts in from
         # the pool's collector thread, so counter updates are locked.
@@ -1258,14 +1786,46 @@ class _PoolExecutor(TrialExecutor):
             raise TranspilerError("max_workers must be a positive integer")
         self.max_workers = max_workers
         self._pool: concurrent.futures.Executor | None = None
+        # Pool generation fences concurrent respawn requests: a chunk
+        # records the generation it was submitted under, and a respawn
+        # only tears the pool down if that generation is still current —
+        # ten chunks dying with one pool trigger one respawn, not ten.
+        self._pool_lock = threading.Lock()
+        self._pool_generation = 0
 
     def _make_pool(self) -> concurrent.futures.Executor:
         raise NotImplementedError
 
     def _ensure_pool(self) -> concurrent.futures.Executor:
-        if self._pool is None:
-            self._pool = self._make_pool()
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool
+
+    def _terminate_pool(self, pool: concurrent.futures.Executor) -> None:
+        """Stop a (possibly broken) pool without waiting on lost work."""
+        with contextlib.suppress(Exception):
+            pool.shutdown(wait=False)
+
+    def _respawn_pool(self, generation: int) -> None:
+        """Replace the pool if ``generation`` is still the live one.
+
+        Called from chunk-failure and watchdog paths.  The generation
+        fence makes the call idempotent per pool incarnation: losers of
+        the race observe a newer generation and return — their chunks
+        will simply be re-submitted on the already-fresh pool.
+        """
+        with self._pool_lock:
+            if generation != self._pool_generation or self._pool is None:
+                return
+            pool = self._pool
+            self._pool = None
+            self._pool_generation += 1
+        self._terminate_pool(pool)
+        self._count_dispatch(respawns=1)
+        # A killed worker may have died between attaching a segment and
+        # its cleanup handler; reclaim anything its death orphaned.
+        reap_stale_segments()
 
     def map(
         self,
@@ -1285,9 +1845,12 @@ class _PoolExecutor(TrialExecutor):
         return list(pool.map(fn, batch, chunksize=chunksize))
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        with self._pool_lock:
+            pool = self._pool
             self._pool = None
+            self._pool_generation += 1
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(max_workers={self.max_workers})"
@@ -1332,6 +1895,21 @@ class ProcessExecutor(_PoolExecutor):
             max_workers=self.max_workers
         )
 
+    def _terminate_pool(self, pool: concurrent.futures.Executor) -> None:
+        """Kill a pool's workers outright before shutting it down.
+
+        ``shutdown(wait=False)`` alone would leave a *hung* worker
+        running (and holding its task) indefinitely; killing the worker
+        processes breaks the pool, which fails every pending future with
+        ``BrokenProcessPool`` — exactly the signal the retry controller
+        recovers from.
+        """
+        for process in list(getattr(pool, "_processes", {}).values()):
+            with contextlib.suppress(Exception):
+                process.kill()
+        with contextlib.suppress(Exception):
+            pool.shutdown(wait=False)
+
     def map_shared(
         self,
         fn: Callable[[_Shared, _Task], _Result],
@@ -1354,15 +1932,30 @@ class ProcessExecutor(_PoolExecutor):
             # Not worth a round-trip (keeps single-trial runs pool-free).
             self._count_dispatch(chunks=len(batch), tasks=len(batch))
             return [fn(shared, task) for task in batch]
-        pool = self._ensure_pool()
+        self._ensure_pool()
         handle = _publish_object(shared)
+        segment_name = handle.segment
         workers = self.max_workers or os.cpu_count() or 1
         size = max(1, math.ceil(len(batch) / (workers * CHUNKS_PER_WORKER)))
+        chunks = list(_chunk(batch, size))
+        fault_plan = FaultPlan.from_env()
         try:
-            futures = [
-                pool.submit(_run_shared_chunk, handle, fn, chunk)
-                for chunk in _chunk(batch, size)
-            ]
+            futures: list[concurrent.futures.Future | None] = []
+            attempts = [0] * len(chunks)
+            generations = [0] * len(chunks)
+            start = 0
+            for ordinal, chunk in enumerate(chunks):
+                faults = None
+                if fault_plan is not None:
+                    faults = fault_plan.chunk_faults(
+                        "trial", start, len(chunk), ordinal
+                    )
+                start += len(chunk)
+                futures.append(
+                    self._submit_shared_chunk(
+                        handle, fn, chunk, faults, generations, ordinal
+                    )
+                )
             self._count_dispatch(
                 shared_pickles=1,
                 chunks=len(futures),
@@ -1373,18 +1966,107 @@ class ProcessExecutor(_PoolExecutor):
             )
             results: list[_Result] = []
             try:
-                for future in futures:
-                    chunk_results, copied = future.result()
-                    self._count_dispatch(bytes_copied=copied)
-                    results.extend(chunk_results)
+                for index, chunk in enumerate(chunks):
+                    while True:
+                        error: BaseException | None = None
+                        try:
+                            future = futures[index]
+                            if future is None:
+                                raise _DispatchInterrupted("chunk was lost")
+                            chunk_results, copied = future.result(
+                                timeout=task_timeout()
+                            )
+                            chunk_results = _guard_chunk_results(
+                                chunk_results
+                            )
+                        except _RETRYABLE_ERRORS as caught:
+                            error = caught
+                        if error is None:
+                            self._count_dispatch(bytes_copied=copied)
+                            results.extend(chunk_results)
+                            break
+                        attempts[index] += 1
+                        self._count_dispatch(
+                            retries=1, lost_tasks=len(chunk)
+                        )
+                        if isinstance(
+                            error,
+                            (
+                                concurrent.futures.BrokenExecutor,
+                                concurrent.futures.CancelledError,
+                                concurrent.futures.TimeoutError,
+                                TimeoutError,
+                                _DispatchInterrupted,
+                            ),
+                        ):
+                            # A deadline expiry means a worker is hung;
+                            # pool breakage means workers died.  Either
+                            # way this chunk's pool generation is done
+                            # for — kill it and start fresh.
+                            self._respawn_pool(generations[index])
+                        if isinstance(
+                            error, TransportError
+                        ) and not isinstance(error, CorruptResultError):
+                            if segment_name is not None:
+                                _unlink_segment(segment_name)
+                                segment_name = None
+                            blob = _dumps_anchored(shared, ())
+                            handle = PayloadHandle(
+                                digest=hashlib.sha1(blob).hexdigest(),
+                                size=len(blob),
+                                blob=blob,
+                            )
+                            self._count_dispatch(transport_downgrades=1)
+                        if attempts[index] > task_retries():
+                            # Retry budget spent: run in-process against
+                            # the parent's own payload — no transport.
+                            self._count_dispatch(executor_downgrades=1)
+                            results.extend(
+                                _guard_chunk_results(
+                                    _run_local_chunk(fn, shared, chunk, None)
+                                )
+                            )
+                            break
+                        time.sleep(_retry_backoff(attempts[index]))
+                        # Replays run clean (faults=None): an injected
+                        # crash must not re-fire on the recovery pass.
+                        futures[index] = self._submit_shared_chunk(
+                            handle, fn, chunk, None, generations, index
+                        )
             finally:
                 # A raising chunk must not unlink the segment while other
                 # chunks may still be about to attach it.
-                concurrent.futures.wait(futures)
+                concurrent.futures.wait(
+                    [future for future in futures if future is not None]
+                )
             return results
         finally:
-            if handle.segment is not None:
-                _unlink_segment(handle.segment)
+            if segment_name is not None:
+                _unlink_segment(segment_name)
+
+    def _submit_shared_chunk(
+        self,
+        handle: PayloadHandle,
+        fn: Callable[[_Shared, _Task], _Result],
+        chunk: Sequence[_Task],
+        faults: "ChunkFaults | None",
+        generations: list[int],
+        index: int,
+    ) -> concurrent.futures.Future | None:
+        """Submit one chunk, recording the pool generation it rode.
+
+        Returns ``None`` when the pool is broken at submit time (the
+        caller's collection loop treats that as one more retryable
+        failure), so a respawn triggered by a neighbouring chunk never
+        turns into an unhandled exception here.
+        """
+        generations[index] = self._pool_generation
+        try:
+            return self._ensure_pool().submit(
+                _run_shared_chunk, handle, fn, chunk, faults
+            )
+        except (concurrent.futures.BrokenExecutor, RuntimeError):
+            return None
 
     def open_dispatch(
         self,

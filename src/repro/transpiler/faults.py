@@ -1,0 +1,336 @@
+"""Deterministic fault injection for the dispatch stack, plus a janitor.
+
+The fault-tolerance machinery in :mod:`repro.transpiler.executors` (chunk
+retries, pool respawn, executor/transport degradation) is only credible
+if it can be exercised on demand, at exact task positions, on every
+executor and transport.  This module is that harness:
+
+* ``MIRAGE_FAULT_PLAN`` — a comma-separated spec parsed by
+  :func:`parse_fault_plan` / :meth:`FaultPlan.from_env`.  Task faults are
+  ``action:kind:index`` with ``action`` one of ``kill`` / ``hang`` /
+  ``corrupt`` and ``kind`` one of ``trial`` / ``plan``; ``index`` is the
+  zero-based *global submission ordinal* of that kind within one dispatch
+  (a session, or one ``map_shared`` call).  ``corrupt_shm:index`` targets
+  the chunk with that global chunk ordinal instead, raising a
+  :class:`~repro.exceptions.TransportError` before the payload loads —
+  exactly what a vanished segment looks like.  Example::
+
+      MIRAGE_FAULT_PLAN="kill:trial:7,hang:plan:2,corrupt_shm:1"
+
+* The dispatcher resolves the plan into per-chunk :class:`ChunkFaults`
+  records at submit time (workers never count anything, so work stealing
+  cannot move a fault), and **disarms faults on replay**: a retried chunk
+  is re-dispatched without its fault record, modelling the transient
+  failures the recovery layer exists for.  Fixed-seed outputs are
+  therefore byte-identical with and without an active fault plan.
+
+* ``kill`` terminates the worker process (``os._exit``) when it runs in
+  a real worker, and raises :class:`InjectedWorkerCrash` when the chunk
+  executes in the dispatching process (serial/thread executors), so the
+  in-process retry path sees the same recoverable signal.  ``hang``
+  sleeps for ``MIRAGE_FAULT_HANG_SECONDS`` (default 30), long enough for
+  a configured ``MIRAGE_TASK_TIMEOUT`` to fire.  ``corrupt`` replaces
+  the task's result with a :class:`CorruptResult` marker — the stand-in
+  for a checksum mismatch — which the dispatcher detects and converts
+  into :class:`CorruptResultError`, retrying the chunk.
+
+* :func:`reap_stale_segments` is the shared-memory janitor: it scans
+  ``/dev/shm`` for ``mirage_shm_<pid>_…`` segments whose creating
+  process is gone and unlinks them, reclaiming whatever a killed run
+  left behind.  The executor layer calls it after every pool respawn.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Iterable
+
+from repro.exceptions import TranspilerError, TransportError
+
+#: Prefix of the dispatch layer's shared-memory segments.  Kept in sync
+#: with :data:`repro.transpiler.executors.SHM_SEGMENT_PREFIX` (defined
+#: here too so this module never imports the executor layer).
+SEGMENT_PREFIX = "mirage_shm_"
+
+#: Actions a task fault may take, in the worker that draws the task.
+_TASK_ACTIONS = ("kill", "hang", "corrupt")
+
+#: Exit status used by injected worker kills — distinctive in logs.
+KILL_EXIT_CODE = 86
+
+#: Default sleep of an injected hang (seconds); override with
+#: ``MIRAGE_FAULT_HANG_SECONDS``.  Long enough that any sane
+#: ``MIRAGE_TASK_TIMEOUT`` expires first.
+_HANG_SECONDS_DEFAULT = 30.0
+
+
+class InjectedWorkerCrash(TranspilerError):
+    """A ``kill`` fault fired in-process (serial/thread execution).
+
+    Worker processes die for real (``os._exit``); in-process chunks
+    cannot, so the crash surfaces as this exception instead — the
+    dispatcher treats both as the same recoverable worker loss.
+    """
+
+
+class CorruptResultError(TransportError):
+    """A chunk returned :class:`CorruptResult` garbage.
+
+    Modelled as a transport-integrity failure (the real-world analogue
+    is a payload/result checksum mismatch), so the retry layer replays
+    the chunk rather than propagating garbage into the batch.
+    """
+
+
+class CorruptResult:
+    """Marker object an injected ``corrupt`` fault returns as a result.
+
+    Deliberately unlike any real task outcome; the dispatcher scans chunk
+    results for instances and converts them into
+    :class:`CorruptResultError` before anything downstream can consume
+    them.  Picklable so it survives the process-pool return path.
+    """
+
+    __slots__ = ("ordinal",)
+
+    def __init__(self, ordinal: int = -1) -> None:
+        self.ordinal = ordinal
+
+    def __reduce__(self):  # noqa: D105 - picklability
+        return (CorruptResult, (self.ordinal,))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CorruptResult(ordinal={self.ordinal})"
+
+
+def fault_hang_seconds() -> float:
+    """How long an injected ``hang`` fault sleeps (seconds).
+
+    Read from ``MIRAGE_FAULT_HANG_SECONDS`` per call (default 30.0) so
+    tests can keep hangs short while still outlasting their configured
+    ``MIRAGE_TASK_TIMEOUT``.
+    """
+    value = os.environ.get("MIRAGE_FAULT_HANG_SECONDS", "").strip()
+    if not value:
+        return _HANG_SECONDS_DEFAULT
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return _HANG_SECONDS_DEFAULT
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault-plan entry (action, task kind, global index)."""
+
+    action: str
+    kind: str
+    index: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkFaults:
+    """The faults one dispatched chunk must inject, resolved to offsets.
+
+    Built dispatcher-side by :meth:`FaultPlan.chunk_faults` so the worker
+    applies faults positionally (``kills``/``hangs``/``corrupts`` are
+    offsets into the chunk's task list) without any cross-process
+    counting.  ``dispatcher_pid`` distinguishes in-process execution —
+    where ``kill`` must raise instead of exiting — from a real worker.
+    Picklable; rides the chunk submission only while a plan is active.
+    """
+
+    kills: tuple[int, ...] = ()
+    hangs: tuple[int, ...] = ()
+    corrupts: tuple[int, ...] = ()
+    corrupt_shm: bool = False
+    hang_seconds: float = _HANG_SECONDS_DEFAULT
+    dispatcher_pid: int = -1
+
+    def check_transport(self) -> None:
+        """Raise the injected segment loss, if this chunk carries one."""
+        if self.corrupt_shm:
+            raise TransportError(
+                "fault injection: payload segment reported lost (corrupt_shm)"
+            )
+
+    def before_task(self, offset: int) -> None:
+        """Fire any ``kill``/``hang`` fault aimed at the task at ``offset``."""
+        if offset in self.kills:
+            if self.dispatcher_pid >= 0 and os.getpid() != self.dispatcher_pid:
+                os._exit(KILL_EXIT_CODE)
+            raise InjectedWorkerCrash(
+                f"fault injection: worker killed at chunk offset {offset}"
+            )
+        if offset in self.hangs:
+            time.sleep(self.hang_seconds)
+
+    def after_task(self, offset: int, result: object) -> object:
+        """Swap the task's result for garbage if a ``corrupt`` fault aims here."""
+        if offset in self.corrupts:
+            return CorruptResult(offset)
+        return result
+
+
+def parse_fault_plan(spec: str) -> "FaultPlan":
+    """Parse a ``MIRAGE_FAULT_PLAN`` string into a :class:`FaultPlan`.
+
+    Grammar: comma-separated entries; each entry is either
+    ``action:kind:index`` (``action`` in ``kill``/``hang``/``corrupt``,
+    ``kind`` in ``trial``/``plan``) or ``corrupt_shm:index``.  Whitespace
+    around entries is ignored; an empty spec yields an empty plan.
+    Raises :class:`~repro.exceptions.TranspilerError` on anything else.
+    """
+    entries: list[FaultSpec] = []
+    for raw in spec.split(","):
+        part = raw.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        try:
+            if fields[0] == "corrupt_shm" and len(fields) == 2:
+                entries.append(
+                    FaultSpec("corrupt_shm", "chunk", int(fields[1]))
+                )
+                continue
+            if len(fields) == 3 and fields[0] in _TASK_ACTIONS:
+                action, kind, index = fields
+                if kind not in ("trial", "plan"):
+                    raise ValueError(kind)
+                entries.append(FaultSpec(action, kind, int(index)))
+                continue
+            raise ValueError(part)
+        except ValueError:
+            raise TranspilerError(
+                f"bad MIRAGE_FAULT_PLAN entry {part!r} — expected "
+                f"'kill|hang|corrupt:trial|plan:<index>' or "
+                f"'corrupt_shm:<index>'"
+            ) from None
+    return FaultPlan(entries)
+
+
+class FaultPlan:
+    """A parsed fault plan, queried by the dispatcher at submit time.
+
+    Holds the task faults grouped by kind (``trial``/``plan``) and the
+    set of chunk ordinals whose payload attach must fail.  The plan
+    itself is immutable; the *dispatcher* owns the ordinal counters (one
+    per kind, plus a global chunk counter) so that fault positions are
+    exact and independent of worker scheduling.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec]) -> None:
+        self._by_kind: dict[str, dict[int, str]] = {"trial": {}, "plan": {}}
+        self._corrupt_chunks: set[int] = set()
+        for spec in specs:
+            if spec.action == "corrupt_shm":
+                self._corrupt_chunks.add(spec.index)
+            else:
+                self._by_kind[spec.kind][spec.index] = spec.action
+
+    def __bool__(self) -> bool:
+        return bool(
+            self._corrupt_chunks
+            or any(self._by_kind[kind] for kind in self._by_kind)
+        )
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """Parse ``MIRAGE_FAULT_PLAN``; ``None`` when unset or empty.
+
+        Checked per dispatch (session open, or one ``map_shared`` call)
+        like the other transport switches, so tests and operators can
+        toggle fault plans without re-importing anything.
+        """
+        spec = os.environ.get("MIRAGE_FAULT_PLAN", "").strip()
+        if not spec:
+            return None
+        plan = parse_fault_plan(spec)
+        return plan if plan else None
+
+    def chunk_faults(
+        self, kind: str, start: int, count: int, chunk_ordinal: int
+    ) -> ChunkFaults | None:
+        """Resolve the faults hitting tasks ``[start, start+count)``.
+
+        ``kind`` is the task kind the chunk carries, ``start`` the global
+        ordinal of its first task within that kind, and ``chunk_ordinal``
+        the global chunk counter (for ``corrupt_shm``).  Returns ``None``
+        when no fault lands in the chunk — the common case, keeping the
+        wire format of unaffected chunks unchanged.
+        """
+        planned = self._by_kind.get(kind, {})
+        kills: list[int] = []
+        hangs: list[int] = []
+        corrupts: list[int] = []
+        for index, action in planned.items():
+            if start <= index < start + count:
+                offset = index - start
+                if action == "kill":
+                    kills.append(offset)
+                elif action == "hang":
+                    hangs.append(offset)
+                else:
+                    corrupts.append(offset)
+        corrupt_shm = chunk_ordinal in self._corrupt_chunks
+        if not (kills or hangs or corrupts or corrupt_shm):
+            return None
+        return ChunkFaults(
+            kills=tuple(sorted(kills)),
+            hangs=tuple(sorted(hangs)),
+            corrupts=tuple(sorted(corrupts)),
+            corrupt_shm=corrupt_shm,
+            hang_seconds=fault_hang_seconds(),
+            dispatcher_pid=os.getpid(),
+        )
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid reused by another user
+        return True
+    return True
+
+
+def reap_stale_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Unlink shared-memory segments whose creating process is dead.
+
+    Scans ``/dev/shm`` for names of the form ``<prefix><pid>_<token>``
+    and unlinks every segment whose embedded creator pid no longer names
+    a live process — the debris a killed dispatcher (or a worker that
+    died between publish and unlink) leaves behind.  Segments owned by
+    live processes, including this one, are never touched.  Returns the
+    reclaimed segment names; a no-op (empty list) on hosts without
+    ``/dev/shm``.
+    """
+    shm_root = "/dev/shm"
+    reclaimed: list[str] = []
+    try:
+        names = os.listdir(shm_root)
+    except OSError:
+        return reclaimed
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        remainder = name[len(prefix):]
+        pid_text = remainder.split("_", 1)[0]
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            continue
+        if _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_root, name))
+        except FileNotFoundError:
+            continue
+        except OSError:  # pragma: no cover - permissions on shared hosts
+            continue
+        reclaimed.append(name)
+    return reclaimed

@@ -252,6 +252,15 @@ def run_trial(spec: TrialSpec, ref: TrialRef) -> TrialOutcome:
     every refinement round and final routing — comes from one generator
     seeded by ``ref.seed``, so the outcome depends only on ``(spec, ref)``,
     never on sibling trials or execution order.
+
+    That purity is also the replay contract of the fault-tolerant
+    dispatch layer: after a worker crash or hang the lost ``(spec, ref)``
+    pairs are simply re-dispatched (possibly on a respawned pool, a
+    downgraded transport, or in-process), and the replayed outcomes are
+    byte-identical to what the dead worker would have returned.  Keep
+    this function free of hidden state — no module globals, no
+    side effects beyond the memoised derived DAGs — or crash recovery
+    silently stops being deterministic.
     """
     start = time.perf_counter()
     rng = np.random.default_rng(ref.seed)

@@ -1,0 +1,419 @@
+"""Tests for fault-tolerant dispatch: crash recovery, injection, janitor.
+
+Covers the reliability layer end to end:
+
+* the ``MIRAGE_FAULT_PLAN`` grammar and its error reporting;
+* digest-pinned retry determinism — fixed-seed ``transpile_many``
+  outputs are byte-identical with and without injected worker kills,
+  hangs and corrupt results, across serial/thread/process executors and
+  both transports, with the recovery recorded in dispatch provenance;
+* deadline-driven respawn of hung workers (``MIRAGE_TASK_TIMEOUT``);
+* graceful degradation down the executor ladder
+  (``MIRAGE_TASK_RETRIES=0``) and the transport ladder (``corrupt_shm``);
+* typed :class:`~repro.exceptions.TransportError` on vanished segments;
+* the shared-memory janitor (:func:`reap_stale_segments`), idempotent
+  ``_cleanup_segments`` teardown, and orphan-free exception paths
+  through ``transpile_many``.
+"""
+
+import glob
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.circuits.library import ghz, qft
+from repro.core import transpile_many
+from repro.exceptions import TranspilerError, TransportError
+from repro.polytopes import get_coverage_set
+from repro.transpiler import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    line_topology,
+)
+from repro.transpiler.executors import (
+    SHM_SEGMENT_PREFIX,
+    _attach_segment,
+    _cleanup_segments,
+    _created_segments,
+    _publish_object,
+    shm_transport_enabled,
+)
+from repro.transpiler.faults import (
+    ChunkFaults,
+    CorruptResult,
+    CorruptResultError,
+    FaultPlan,
+    InjectedWorkerCrash,
+    parse_fault_plan,
+    reap_stale_segments,
+)
+
+COVERAGE = get_coverage_set("sqrt_iswap", num_samples=250, seed=3)
+
+needs_shm = pytest.mark.skipif(
+    not shm_transport_enabled(),
+    reason="POSIX shared memory unavailable on this platform",
+)
+
+
+def _own_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{SHM_SEGMENT_PREFIX}{os.getpid()}_*")
+
+
+def _fingerprint(result):
+    """Byte-level identity of a transpile result, modulo wall-clock."""
+    return (
+        [(instr.gate.name, instr.qubits) for instr in result.circuit],
+        result.initial_layout.virtual_to_physical(),
+        result.final_layout.virtual_to_physical(),
+        result.swaps_added,
+        result.mirrors_accepted,
+        result.trial_index,
+        round(result.metrics.depth, 9),
+    )
+
+
+def _batch(executor=None, **kwargs):
+    return transpile_many(
+        [qft(4), ghz(5)],
+        line_topology(5),
+        coverage=COVERAGE,
+        use_vf2=False,
+        layout_trials=3,
+        seed=7,
+        fanout="circuits",
+        executor=executor,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def quick_recovery(monkeypatch):
+    """Short hangs/backoffs so fault scenarios finish in test time."""
+    monkeypatch.setenv("MIRAGE_FAULT_HANG_SECONDS", "5")
+    monkeypatch.setenv("MIRAGE_TASK_TIMEOUT", "1.0")
+    return monkeypatch
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan grammar
+# ---------------------------------------------------------------------------
+
+
+def test_fault_plan_parses_task_and_chunk_entries():
+    plan = parse_fault_plan("kill:trial:7, hang:plan:2 ,corrupt_shm:1")
+    assert bool(plan)
+    faults = plan.chunk_faults("trial", start=4, count=8, chunk_ordinal=0)
+    assert faults.kills == (3,)
+    assert plan.chunk_faults("plan", start=2, count=1, chunk_ordinal=1)
+    by_chunk = plan.chunk_faults("trial", start=100, count=2, chunk_ordinal=1)
+    assert by_chunk.corrupt_shm
+
+
+def test_fault_plan_misses_return_none():
+    plan = parse_fault_plan("corrupt:trial:50")
+    assert plan.chunk_faults("trial", start=0, count=50, chunk_ordinal=0) is None
+    assert plan.chunk_faults("plan", start=0, count=100, chunk_ordinal=0) is None
+
+
+def test_fault_plan_empty_spec_is_empty():
+    assert not parse_fault_plan("")
+    assert not parse_fault_plan(" , ")
+    assert FaultPlan([]).chunk_faults("trial", 0, 10, 0) is None
+
+
+@pytest.mark.parametrize("spec", [
+    "explode:trial:1",          # unknown action
+    "kill:route:1",             # unknown kind
+    "kill:trial",               # missing index
+    "kill:trial:x",             # non-integer index
+    "corrupt_shm",              # missing chunk ordinal
+])
+def test_fault_plan_rejects_bad_entries(spec):
+    with pytest.raises(TranspilerError, match="MIRAGE_FAULT_PLAN"):
+        parse_fault_plan(spec)
+
+
+def test_chunk_faults_fire_positionally():
+    faults = ChunkFaults(
+        kills=(1,), corrupts=(2,), dispatcher_pid=os.getpid()
+    )
+    faults.before_task(0)  # no fault at offset 0
+    with pytest.raises(InjectedWorkerCrash):
+        faults.before_task(1)
+    assert isinstance(faults.after_task(2, "real"), CorruptResult)
+    assert faults.after_task(0, "real") == "real"
+    with pytest.raises(TransportError):
+        ChunkFaults(corrupt_shm=True).check_transport()
+
+
+def test_corrupt_result_pickles():
+    marker = pickle.loads(pickle.dumps(CorruptResult(5)))
+    assert isinstance(marker, CorruptResult)
+    assert marker.ordinal == 5
+
+
+# ---------------------------------------------------------------------------
+# Digest-pinned retry determinism across executors, transports and faults
+# ---------------------------------------------------------------------------
+
+
+BASELINE = None
+
+
+def _baseline():
+    global BASELINE
+    if BASELINE is None:
+        BASELINE = [_fingerprint(r) for r in _batch()]
+    return BASELINE
+
+
+@pytest.mark.parametrize("make_executor", [
+    SerialExecutor,
+    ThreadExecutor,
+    lambda: ProcessExecutor(max_workers=2),
+])
+@pytest.mark.parametrize("fault_spec", [
+    "kill:trial:2",
+    "corrupt:trial:4",
+    "kill:trial:1,corrupt:trial:5",
+])
+def test_injected_faults_preserve_digests(
+    monkeypatch, make_executor, fault_spec
+):
+    """Recovered batches are byte-identical to undisturbed ones."""
+    expected = _baseline()
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", fault_spec)
+    with make_executor() as executor:
+        faulted = _batch(executor)
+        stats = dict(executor.dispatch_stats)
+    assert [_fingerprint(r) for r in faulted] == expected
+    assert stats["retries"] >= 1
+    assert stats["lost_tasks"] >= 1
+    assert faulted.dispatch["retries"] >= 1
+    assert _own_segments() == []
+
+
+@pytest.mark.parametrize("fault_spec", ["kill:trial:3", "corrupt:trial:2"])
+def test_injected_faults_preserve_digests_inline_transport(
+    monkeypatch, fault_spec
+):
+    """The inline-pickle transport recovers identically to shm."""
+    expected = _baseline()
+    monkeypatch.setenv("MIRAGE_SHM_DISABLE", "1")
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", fault_spec)
+    with ProcessExecutor(max_workers=2) as executor:
+        faulted = _batch(executor)
+        stats = dict(executor.dispatch_stats)
+    assert [_fingerprint(r) for r in faulted] == expected
+    assert stats["retries"] >= 1
+    assert _own_segments() == []
+
+
+def test_injected_plan_fault_preserves_digests(monkeypatch):
+    """A killed executor-side planning task is replayed deterministically."""
+    expected = _baseline()
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "kill:plan:1")
+    with ProcessExecutor(max_workers=2) as executor:
+        faulted = _batch(executor, plan="executor")
+        stats = dict(executor.dispatch_stats)
+    assert [_fingerprint(r) for r in faulted] == expected
+    assert stats["retries"] >= 1
+    assert _own_segments() == []
+
+
+def test_clean_run_reports_zero_fault_counters(monkeypatch):
+    # CI's fault-injection job exports a global MIRAGE_FAULT_PLAN; a
+    # *clean*-run assertion must explicitly run without one.
+    monkeypatch.delenv("MIRAGE_FAULT_PLAN", raising=False)
+    result = _batch()
+    for key in (
+        "retries", "respawns", "lost_tasks",
+        "executor_downgrades", "transport_downgrades",
+    ):
+        assert result.dispatch[key] == 0
+
+
+# ---------------------------------------------------------------------------
+# Hung workers: deadline, pool respawn, replay
+# ---------------------------------------------------------------------------
+
+
+@needs_shm
+def test_hung_worker_is_respawned_and_replayed(quick_recovery):
+    """A hang outliving MIRAGE_TASK_TIMEOUT is killed and re-dispatched."""
+    quick_recovery.setenv("MIRAGE_FAULT_PLAN", "hang:trial:2")
+    expected = _baseline()
+    with ProcessExecutor(max_workers=2) as executor:
+        faulted = _batch(executor)
+        stats = dict(executor.dispatch_stats)
+    assert [_fingerprint(r) for r in faulted] == expected
+    assert stats["retries"] >= 1
+    assert stats["respawns"] >= 1
+    assert _own_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladders
+# ---------------------------------------------------------------------------
+
+
+def test_exhausted_retries_degrade_to_in_process(monkeypatch):
+    """With a zero retry budget the chunk runs on the dispatcher itself."""
+    expected = _baseline()
+    monkeypatch.setenv("MIRAGE_TASK_RETRIES", "0")
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "kill:trial:2")
+    with ProcessExecutor(max_workers=2) as executor:
+        faulted = _batch(executor)
+        stats = dict(executor.dispatch_stats)
+    assert [_fingerprint(r) for r in faulted] == expected
+    assert stats["executor_downgrades"] >= 1
+    assert _own_segments() == []
+
+
+@needs_shm
+def test_transport_fault_downgrades_to_inline(monkeypatch):
+    """An injected segment loss republishes the payload inline."""
+    expected = _baseline()
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "corrupt_shm:1")
+    with ProcessExecutor(max_workers=2) as executor:
+        faulted = _batch(executor)
+        stats = dict(executor.dispatch_stats)
+    assert [_fingerprint(r) for r in faulted] == expected
+    assert stats["transport_downgrades"] >= 1
+    assert _own_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Typed transport errors
+# ---------------------------------------------------------------------------
+
+
+@needs_shm
+def test_vanished_segment_raises_transport_error(monkeypatch):
+    # Whole-blob segment layout: the only one `fetch` applies to.
+    monkeypatch.setenv("MIRAGE_ZEROCOPY_DISABLE", "1")
+    handle = _publish_object({"x": list(range(256))})
+    assert handle.segment is not None
+    from repro.transpiler.executors import _unlink_segment
+
+    _unlink_segment(handle.segment)
+    with pytest.raises(TransportError, match="vanished"):
+        handle.fetch()
+    with pytest.raises(TransportError):
+        _attach_segment(f"{SHM_SEGMENT_PREFIX}{os.getpid()}_deadbeef")
+    assert _own_segments() == []
+
+
+def test_corrupt_result_error_is_transport_error():
+    # The retry layer catches TransportError; corruption must ride that
+    # path (replay) while NOT triggering a transport downgrade — the
+    # distinction the isinstance checks in the dispatcher rely on.
+    assert issubclass(CorruptResultError, TransportError)
+    assert issubclass(TransportError, TranspilerError)
+
+
+# ---------------------------------------------------------------------------
+# Janitor and teardown
+# ---------------------------------------------------------------------------
+
+
+def _publish_and_die(conn):
+    """Child: publish a segment, signal, then die without cleanup."""
+    from repro.transpiler.executors import _publish_object as publish
+
+    handle = publish({"payload": list(range(512))})
+    conn.send(handle.segment)
+    conn.close()
+    os._exit(1)  # hard death: no finally, no atexit
+
+
+@needs_shm
+def test_reaper_reclaims_segments_of_dead_process():
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe()
+    child = ctx.Process(target=_publish_and_die, args=(child_conn,))
+    child.start()
+    assert parent_conn.poll(30)
+    segment = parent_conn.recv()
+    child.join(timeout=30)
+    assert segment is not None
+    leaked = f"/dev/shm/{segment}"
+    assert os.path.exists(leaked)
+    reclaimed = reap_stale_segments()
+    assert segment in reclaimed
+    assert not os.path.exists(leaked)
+
+
+@needs_shm
+def test_reaper_never_touches_live_segments():
+    handle = _publish_object({"x": list(range(256))})
+    assert handle.segment is not None
+    try:
+        assert handle.segment not in reap_stale_segments()
+        assert os.path.exists(f"/dev/shm/{handle.segment}")
+    finally:
+        from repro.transpiler.executors import _unlink_segment
+
+        _unlink_segment(handle.segment)
+
+
+def test_reaper_ignores_foreign_names(tmp_path):
+    assert reap_stale_segments(prefix="no_such_prefix_") == []
+
+
+@needs_shm
+def test_cleanup_segments_is_idempotent():
+    handle = _publish_object({"x": list(range(256))})
+    assert handle.segment is not None
+    assert handle.segment in _created_segments
+    # Unlink behind the guard's back: cleanup must tolerate it.
+    os.unlink(f"/dev/shm/{handle.segment}")
+    _cleanup_segments()
+    assert handle.segment not in _created_segments
+    _cleanup_segments()  # second call: nothing left, still no error
+    assert _own_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Exception paths through transpile_many leave no orphans
+# ---------------------------------------------------------------------------
+
+
+def test_failing_batch_leaves_no_orphan_segments(monkeypatch):
+    """A mid-batch planning failure closes the session and segments."""
+    import importlib
+
+    # `repro.core` re-exports a `transpile` *function*, which shadows the
+    # submodule under plain attribute-style import.
+    transpile_mod = importlib.import_module("repro.core.transpile")
+    real_run_plan = transpile_mod.run_plan
+    calls = {"n": 0}
+
+    def failing_run_plan(spec, task):
+        calls["n"] += 1
+        if calls["n"] >= 2:
+            raise TranspilerError("injected mid-batch planning failure")
+        return real_run_plan(spec, task)
+
+    monkeypatch.setattr(transpile_mod, "run_plan", failing_run_plan)
+    with ProcessExecutor(max_workers=2) as executor:
+        with pytest.raises(TranspilerError, match="mid-batch"):
+            _batch(executor, plan="local")
+    assert _own_segments() == []
+
+
+def test_failing_trials_leave_no_orphan_segments():
+    """A task exception drains the dispatch and unlinks every segment."""
+
+    with ProcessExecutor(max_workers=2) as executor:
+        with pytest.raises(ZeroDivisionError):
+            executor.map_shared(_divide, {"d": 0}, list(range(8)))
+    assert _own_segments() == []
+
+
+def _divide(shared, task):
+    return task // shared["d"]

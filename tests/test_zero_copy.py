@@ -70,10 +70,6 @@ def _explode(shared, task):
     raise ValueError(f"task {task} exploded")
 
 
-def _die(shared, task):  # pragma: no cover - runs in a worker that exits
-    os._exit(1)
-
-
 # ---------------------------------------------------------------------------
 # In-process layout round trip and view lifetime
 # ---------------------------------------------------------------------------
@@ -260,19 +256,31 @@ def test_no_segment_leak_after_worker_exception_with_zero_copy():
 
 
 @needs_shm
-def test_no_segment_leak_after_worker_death_mid_dispatch():
-    """A worker dying outright (not raising) must not leak segments."""
-    from concurrent.futures.process import BrokenProcessPool
+def test_no_segment_leak_after_worker_death_mid_dispatch(monkeypatch):
+    """A worker dying outright is replayed — no abort, no leaked segments.
 
+    The fault plan kills the worker executing global trial ordinal 2 at
+    exact dispatch position; the session detects the broken pool,
+    respawns it and replays only the lost chunk (with the injected fault
+    disarmed), so the batch completes with results identical to an
+    undisturbed run and every segment is reclaimed.
+    """
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "kill:trial:2")
+    tasks = list(range(8))
+    payload = _payload(rows=64)
+    expected = [_probe_arrays(payload, task)[1:] for task in tasks]
     with ProcessExecutor(max_workers=2) as executor:
-        session = executor.open_dispatch(_die, anchors=(_payload(),))
+        session = executor.open_dispatch(_probe_arrays, anchors=(_payload(),))
         assert session is not None
-        slot = session.add_payload(_payload(rows=64))
-        futures = session.submit(slot, list(range(8)))
-        with pytest.raises(BrokenProcessPool):
-            for future in futures:
-                future.result()
+        slot = session.add_payload(payload)
+        futures = session.submit(slot, tasks)
+        results = [r for future in futures for r in future.result()]
         session.close()
+        stats = executor.dispatch_stats
+        assert stats["retries"] >= 1
+        assert stats["respawns"] >= 1
+        assert stats["lost_tasks"] >= 1
+    assert [r[1:] for r in results] == expected
     assert _own_segments() == []
 
 

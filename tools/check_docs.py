@@ -62,6 +62,16 @@ PUBLIC_API = [
     ("repro.transpiler.passes.sabre_layout", "run_trial"),
     ("repro.core.pipeline", "run_plan"),
     ("repro.core.pipeline", "PlanSpec"),
+    ("repro.exceptions", "TransportError"),
+    ("repro.transpiler.executors", "task_timeout"),
+    ("repro.transpiler.executors", "task_retries"),
+    ("repro.transpiler.faults", "FaultPlan"),
+    ("repro.transpiler.faults", "FaultPlan.chunk_faults"),
+    ("repro.transpiler.faults", "ChunkFaults"),
+    ("repro.transpiler.faults", "parse_fault_plan"),
+    ("repro.transpiler.faults", "reap_stale_segments"),
+    ("repro.transpiler.faults", "InjectedWorkerCrash"),
+    ("repro.transpiler.faults", "CorruptResultError"),
 ]
 
 #: Subset that must keep numpy-style section headers.
