@@ -94,6 +94,40 @@ class ResolveCouplingPass(BasePass):
         state.properties["coupling_map"] = coupling
 
 
+def resolve_coverage(coverage: object, basis: str) -> CoverageSet:
+    """Resolve a ``coverage=`` specification into a concrete coverage set.
+
+    Accepted specifications, in resolution order: ``None`` (the shared
+    process-wide set for ``basis`` via
+    :func:`~repro.polytopes.coverage.get_coverage_set`), a prebuilt
+    :class:`~repro.polytopes.coverage.CoverageSet` (returned unchanged),
+    or a registry handle — any object exposing ``get(basis)``, such as
+    :class:`repro.polytopes.registry.RegistryHandle` — through which
+    long-lived callers (the service tier) route every batch's coverage
+    lookup so builds are shared and single-flight.
+
+    Raises:
+        TranspilerError: if the specification is none of the above, or a
+            handle's ``get`` returns something other than a coverage set.
+    """
+    if coverage is None:
+        return get_coverage_set(basis)
+    if isinstance(coverage, CoverageSet):
+        return coverage
+    getter = getattr(coverage, "get", None)
+    if callable(getter):
+        resolved = getter(basis)
+        if isinstance(resolved, CoverageSet):
+            return resolved
+        raise TranspilerError(
+            f"coverage registry handle returned {type(resolved).__name__}, "
+            f"not a CoverageSet"
+        )
+    raise TranspilerError(
+        f"cannot interpret {coverage!r} as a coverage set or registry handle"
+    )
+
+
 class AttachCoveragePass(BasePass):
     """Attach the coverage set (decomposition-cost oracle) for the basis."""
 
@@ -105,10 +139,8 @@ class AttachCoveragePass(BasePass):
 
     def run(self, state: PipelineState) -> None:
         state.properties["basis"] = self.basis
-        state.properties["coverage"] = (
-            self.coverage
-            if self.coverage is not None
-            else get_coverage_set(self.basis)
+        state.properties["coverage"] = resolve_coverage(
+            self.coverage, self.basis
         )
 
 

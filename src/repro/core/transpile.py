@@ -34,7 +34,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.exceptions import TranspilerError
+from repro.exceptions import InvalidModeError, TranspilerError
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.pipeline import (
     PlanSpec,
@@ -42,11 +42,12 @@ from repro.core.pipeline import (
     build_batch_back_pipeline,
     build_mirage_pipeline,
     build_prepare_pipeline,
+    resolve_coverage,
     run_plan,
     validate_flow,
 )
 from repro.core.results import BatchResult, TranspileResult
-from repro.polytopes.coverage import CoverageSet, get_coverage_set
+from repro.polytopes.coverage import CoverageSet
 from repro.transpiler.executors import TrialExecutor, executor_scope
 from repro.transpiler.passes import (
     BatchTrialRef,
@@ -207,8 +208,8 @@ def _resolve_fanout(fanout: str, batch_size: int) -> str:
         mode = FANOUT_MODES[fanout.lower()]
     except (KeyError, AttributeError):
         known = ", ".join(sorted(set(FANOUT_MODES)))
-        raise TranspilerError(
-            f"unknown fanout mode {fanout!r} (known: {known})"
+        raise InvalidModeError(
+            f"unknown fanout mode {fanout!r} (accepted: {known})"
         ) from None
     if mode == "auto":
         return "circuits" if batch_size > 1 else "trials"
@@ -228,8 +229,8 @@ def _resolve_scheduler(scheduler: str) -> str:
         mode = SCHEDULER_MODES[scheduler.lower()]
     except (KeyError, AttributeError):
         known = ", ".join(sorted(set(SCHEDULER_MODES)))
-        raise TranspilerError(
-            f"unknown scheduler mode {scheduler!r} (known: {known})"
+        raise InvalidModeError(
+            f"unknown scheduler mode {scheduler!r} (accepted: {known})"
         ) from None
     return "stream" if mode == "auto" else mode
 
@@ -244,8 +245,8 @@ def _resolve_plan(plan: str) -> str:
         return PLAN_MODES[plan.lower()]
     except (KeyError, AttributeError):
         known = ", ".join(sorted(set(PLAN_MODES)))
-        raise TranspilerError(
-            f"unknown plan mode {plan!r} (known: {known})"
+        raise InvalidModeError(
+            f"unknown plan mode {plan!r} (accepted: {known})"
         ) from None
 
 
@@ -719,6 +720,9 @@ def transpile_many(
     coverage: CoverageSet | None = None,
     use_vf2: bool = True,
     seed: int | np.random.SeedSequence | np.random.Generator | None = 11,
+    circuit_seeds: Sequence[
+        int | np.random.SeedSequence | np.random.Generator | None
+    ] | None = None,
     executor: str | TrialExecutor | None = None,
     max_workers: int | None = None,
     fanout: str = "auto",
@@ -782,6 +786,20 @@ def transpile_many(
     ----------
     circuits : iterable of QuantumCircuit
         The circuits to transpile.
+    circuit_seeds : sequence of seeds, optional
+        Explicit per-circuit seeds overriding the spawn-by-position tree
+        derived from ``seed``.  Must match the batch length; each entry
+        accepts everything ``seed`` accepts.  With explicit seeds, batch
+        position ``i`` is byte-identical to a bare
+        ``transpile(circuits[i], ..., seed=circuit_seeds[i])`` — the
+        property the request-coalescing service tier relies on to merge
+        independent requests into one batch without changing any
+        caller's output.
+    coverage : CoverageSet, RegistryHandle, or None
+        A prebuilt coverage set, a registry handle (any object exposing
+        ``get(basis)``, e.g.
+        :meth:`repro.polytopes.registry.CoverageRegistry.bind`) resolved
+        once per batch, or ``None`` for the shared process-wide set.
     fanout : {"auto", "trials", "sequential", "circuits"}
         Batch fan-out mode, see above.
     scheduler : {"auto", "stream", "overlap", "barrier"}
@@ -799,6 +817,16 @@ def transpile_many(
         One :class:`TranspileResult` per circuit (in input order) plus
         aggregate per-stage timings and dispatch provenance.
 
+    Raises
+    ------
+    InvalidModeError
+        If ``fanout``, ``scheduler`` or ``plan`` is not an accepted mode
+        string (also a ``ValueError``; the message names the accepted
+        values — unknown strings never fall back to a default).
+    TranspilerError
+        If ``circuit_seeds`` is given with the wrong length, or the
+        method/selection pair is unknown.
+
     Notes
     -----
     *Determinism.*  Per-circuit seeds are spawned from ``seed`` via
@@ -810,7 +838,10 @@ def transpile_many(
     transports included); but
     reordering, inserting or removing circuits reseeds the affected
     positions, and a batch of one does not reproduce a bare
-    :func:`transpile` call with the same integer seed.
+    :func:`transpile` call with the same integer seed.  Passing
+    ``circuit_seeds`` replaces the spawn tree with caller-chosen roots:
+    each position then *does* reproduce the bare call at its seed, and
+    reordering or removing other circuits cannot reseed it.
 
     *Caches.*  The coverage set's memoised cost table stays in the parent
     process; workers rebuild theirs lazily per chunk payload (the table is
@@ -825,12 +856,22 @@ def transpile_many(
     mode = _resolve_fanout(fanout, len(batch))
     scheduler_mode = _resolve_scheduler(scheduler)
     plan_mode = _resolve_plan(plan)
+    if circuit_seeds is not None and len(circuit_seeds) != len(batch):
+        raise TranspilerError(
+            f"circuit_seeds has {len(circuit_seeds)} entries for "
+            f"{len(batch)} circuits"
+        )
     dispatch: dict | None = None
     with executor_scope(executor, max_workers) as trial_executor:
-        shared_coverage = (
-            coverage if coverage is not None else get_coverage_set(basis)
-        )
-        circuit_seeds = seed_sequence(seed).spawn(len(batch)) if batch else []
+        shared_coverage = resolve_coverage(coverage, basis)
+        if circuit_seeds is not None:
+            # Explicit roots: normalising through seed_sequence() is
+            # idempotent, so position i matches transpile(seed=seeds[i]).
+            circuit_seeds = [seed_sequence(entry) for entry in circuit_seeds]
+        else:
+            circuit_seeds = (
+                seed_sequence(seed).spawn(len(batch)) if batch else []
+            )
         if mode == "circuits" and batch:
             results, dispatch = _run_circuit_fanout(
                 batch,
@@ -917,9 +958,7 @@ def compare_methods(
     ]
     results: dict[str, TranspileResult] = {}
     with executor_scope(executor, max_workers) as trial_executor:
-        shared_coverage = (
-            coverage if coverage is not None else get_coverage_set(basis)
-        )
+        shared_coverage = resolve_coverage(coverage, basis)
         session = trial_executor.open_dispatch(
             run_trial, anchors=(shared_coverage,)
         )

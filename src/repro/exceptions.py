@@ -28,6 +28,27 @@ class TranspilerError(ReproError):
     """Raised by transpiler passes (layout, routing, basis translation)."""
 
 
+class InvalidModeError(TranspilerError, ValueError):
+    """Raised when a string-mode knob does not name a known mode.
+
+    Used by the batch front door for its ``fanout=``/``scheduler=``/
+    ``plan=`` knobs: an unknown string must fail fast with the accepted
+    values named, never silently fall back to a default.  Deriving from
+    both :class:`TranspilerError` and :class:`ValueError` keeps existing
+    ``except TranspilerError`` callers working while matching the
+    conventional exception type for a bad argument value.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the transpilation service front-end.
+
+    Covers request-time misuse of :class:`repro.service.MirageService` —
+    submitting to a closed service, submitting from outside a running
+    event loop, or a window dispatch failing wholesale.
+    """
+
+
 class TransportError(TranspilerError):
     """Raised when a dispatch transport resource is lost or corrupted.
 

@@ -26,8 +26,16 @@ from repro.polytopes.haar_score import (
     score_comparison,
 )
 from repro.polytopes.polytope import WeylPolytope
+from repro.polytopes.registry import (
+    DEFAULT_REGISTRY,
+    CoverageRegistry,
+    RegistryHandle,
+)
 
 __all__ = [
+    "DEFAULT_REGISTRY",
+    "CoverageRegistry",
+    "RegistryHandle",
     "GLOBAL_COORDINATE_CACHE",
     "CoordinateCache",
     "CircuitPolytope",

@@ -265,18 +265,46 @@ def coverage_cache_path(**parameters) -> Path:
     return coverage_cache_dir() / f"{coverage_cache_key(**parameters)}.pkl"
 
 
+def _validate_cached_entry(entry: object, parameters: dict) -> bool:
+    """Sanity-check an unpickled cache entry against its build parameters.
+
+    The exception path of :func:`load_cached_coverage_set` already covers
+    truncated or garbage bytes; this guards the nastier case of a *valid*
+    pickle holding the wrong thing — a foreign object written under our
+    key, or an entry whose payload does not match the parameters that
+    keyed it (e.g. a hash collision or a hand-edited cache directory).
+    """
+    from repro.polytopes.coverage import CoverageSet
+
+    if not isinstance(entry, CoverageSet):
+        return False
+    if not getattr(entry, "polytopes", None):
+        return False
+    basis = parameters.get("basis")
+    if basis is not None and entry.basis != basis:
+        return False
+    mirror = parameters.get("mirror")
+    if mirror is not None and bool(entry.mirrored) != bool(mirror):
+        return False
+    return True
+
+
 def load_cached_coverage_set(**parameters) -> "CoverageSet | None":
     """Load a coverage set from disk, or ``None`` on miss/corruption.
 
-    A corrupt or unreadable entry is deleted (best effort) and treated as a
-    miss, so a crashed writer or format drift can never wedge the cache.
+    A corrupt, truncated or otherwise unreadable entry — including a
+    well-formed pickle that does not hold a plausible coverage set for
+    ``parameters`` — is deleted (best effort) and treated as a miss, so
+    a crashed writer, format drift or a poisoned cache directory can
+    never wedge the cache: the caller rebuilds and atomically rewrites
+    the entry instead of raising.
     """
     if not coverage_cache_enabled():
         return None
     path = coverage_cache_path(**parameters)
     try:
         with open(path, "rb") as handle:
-            return pickle.load(handle)
+            entry = pickle.load(handle)
     except FileNotFoundError:
         return None
     except Exception:
@@ -285,6 +313,13 @@ def load_cached_coverage_set(**parameters) -> "CoverageSet | None":
         except OSError:
             pass
         return None
+    if not _validate_cached_entry(entry, parameters):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    return entry
 
 
 def store_coverage_set(coverage: "CoverageSet", **parameters) -> Path | None:

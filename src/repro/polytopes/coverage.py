@@ -23,7 +23,6 @@ from __future__ import annotations
 import dataclasses
 import math
 import threading
-from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -694,7 +693,6 @@ def load_or_build_coverage_set(
     return coverage
 
 
-@lru_cache(maxsize=32)
 def get_coverage_set(
     basis: str,
     mirror: bool = False,
@@ -705,13 +703,19 @@ def get_coverage_set(
 ) -> CoverageSet:
     """Shared, memoised coverage sets used by the transpiler and benches.
 
-    Backed by the persistent disk cache, so the first call of a fresh
-    process loads the pickled set instead of rebuilding the polytopes.
+    Served from the process-wide
+    :data:`repro.polytopes.registry.DEFAULT_REGISTRY` (in-memory L1,
+    single-flight builds under concurrency) over the persistent disk
+    cache (L2), so the first call of a fresh process loads the pickled
+    set instead of rebuilding the polytopes, and repeated calls return
+    the identical instance.
     """
-    return load_or_build_coverage_set(
+    from repro.polytopes.registry import DEFAULT_REGISTRY
+
+    return DEFAULT_REGISTRY.get(
         basis,
-        max_depth=max_depth,
+        mirror=mirror,
         num_samples=num_samples,
         seed=seed,
-        mirror=mirror,
+        max_depth=max_depth,
     )

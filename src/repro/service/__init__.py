@@ -1,0 +1,17 @@
+"""Transpilation-as-a-service tier: asyncio front-end over the batch engine."""
+
+from repro.service.service import (
+    DEFAULT_WINDOW_MS,
+    WINDOW_ENV,
+    MirageService,
+    ServiceClient,
+    service_window_ms,
+)
+
+__all__ = [
+    "DEFAULT_WINDOW_MS",
+    "WINDOW_ENV",
+    "MirageService",
+    "ServiceClient",
+    "service_window_ms",
+]

@@ -1,0 +1,512 @@
+"""Transpilation-as-a-service: the asyncio front-end over the batch engine.
+
+:class:`MirageService` turns the one-shot batch API into a long-lived
+request-serving tier:
+
+* **Admission windows** — requests arriving within a configurable window
+  (``MIRAGE_SERVICE_WINDOW_MS``, or the ``window_ms`` argument) that
+  share a batch-compatibility key (topology, basis, method, selection
+  and the trial knobs) are coalesced into **one**
+  :func:`~repro.core.transpile.transpile_many` dispatch on the streaming
+  scheduler — the coverage set is pickled once as the session anchor and
+  every request's trials share one worker-pool conversation.
+* **Byte-identity** — each request carries its own seed into the batch
+  through ``circuit_seeds``, so the result returned to a caller is
+  byte-identical to a direct ``transpile(circuit, ..., seed=seed)``
+  call: coalescing is invisible in every output bit.
+* **Warm pools** — the service owns (or borrows) one
+  :class:`~repro.transpiler.executors.TrialExecutor` for its lifetime
+  and pre-spawns its workers, so no request pays pool-spawn latency;
+  each window dispatch holds an executor lease, making a shutdown
+  racing an in-flight batch fail loudly instead of killing workers
+  under it.
+* **Coverage registry** — coverage lookups route through a
+  :class:`~repro.polytopes.registry.CoverageRegistry` (in-memory L1 with
+  single-flight builds over the ``$MIRAGE_CACHE_DIR`` disk L2), so N
+  concurrent cold requests trigger exactly one build and one pickle.
+* **Provenance** — :meth:`MirageService.stats` exposes request/tenant
+  counts, per-window queue waits and the dispatch counters inherited
+  from :attr:`~repro.core.results.BatchResult.dispatch`, suitable for
+  dashboards.
+
+The service inherits the PR-7 fault-tolerance contract wholesale: a
+worker killed or hung mid-window is respawned and only its lost chunks
+replayed, so the affected requests still resolve with byte-identical
+results and ``aclose()`` still leaves zero shared-memory segments and
+zero live workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import dataclasses
+import itertools
+import os
+import threading
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ServiceError
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.results import BatchResult, TranspileResult
+from repro.core.transpile import transpile_many
+from repro.polytopes.registry import CoverageRegistry
+from repro.transpiler.executors import (
+    TrialExecutor,
+    owns_executor,
+    resolve_executor,
+)
+from repro.transpiler.topologies import CouplingMap
+
+#: Environment variable holding the default admission window in
+#: milliseconds.  ``0`` disables coalescing (every request dispatches
+#: on the next event-loop tick); unset or unparsable falls back to
+#: :data:`DEFAULT_WINDOW_MS`.
+WINDOW_ENV = "MIRAGE_SERVICE_WINDOW_MS"
+
+#: Default admission window (milliseconds) when neither the constructor
+#: argument nor the environment variable is given.
+DEFAULT_WINDOW_MS = 10.0
+
+
+def service_window_ms() -> float:
+    """Admission window in milliseconds from ``MIRAGE_SERVICE_WINDOW_MS``.
+
+    Non-numeric or negative values fall back to the default so a typo in
+    deployment configuration degrades to default behaviour rather than
+    crashing the service at construction time.
+    """
+    raw = os.environ.get(WINDOW_ENV, "").strip()
+    if not raw:
+        return DEFAULT_WINDOW_MS
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_WINDOW_MS
+    return value if value >= 0 else DEFAULT_WINDOW_MS
+
+
+def _topology_key(topology: "CouplingMap | str") -> object:
+    """Hashable batch-compatibility key component for a topology.
+
+    Coupling maps with identical edge sets are interchangeable (the
+    geometry, not the instance, determines routing), so they coalesce
+    into the same window.
+    """
+    if isinstance(topology, CouplingMap):
+        return ("coupling", topology.num_qubits, tuple(topology.edges))
+    return ("name", topology)
+
+
+def _aggression_key(aggression: object) -> object:
+    """Hashable key component for an aggression specification."""
+    if isinstance(aggression, (list, tuple)):
+        return tuple(aggression)
+    return aggression
+
+
+@dataclasses.dataclass(frozen=True)
+class _WindowKey:
+    """Batch-compatibility key: requests sharing it can ride one batch."""
+
+    topology: object
+    basis: str
+    method: str
+    selection: str
+    aggression: object
+    layout_trials: int
+    refinement_rounds: int
+    routing_trials: int
+    use_vf2: bool
+
+
+@dataclasses.dataclass
+class _PendingRequest:
+    """One submitted request waiting for its window to dispatch."""
+
+    circuit: QuantumCircuit
+    seed: object
+    tenant: str
+    future: asyncio.Future
+    enqueued: float
+
+
+@dataclasses.dataclass
+class _Window:
+    """An open admission window accumulating compatible requests."""
+
+    id: int
+    key: _WindowKey
+    topology: "CouplingMap | str"
+    requests: list[_PendingRequest]
+    opened: float
+    handle: asyncio.TimerHandle | None = None
+    sealed: bool = False
+
+
+class ServiceClient:
+    """In-process client bound to one tenant of a :class:`MirageService`.
+
+    The thinnest possible client: :meth:`transpile` forwards to
+    :meth:`MirageService.submit` with the bound tenant attached, so test
+    harnesses (and in-process embedders) talk to the service exactly the
+    way a network front-end would — submit, await, inspect.
+    """
+
+    def __init__(self, service: "MirageService", tenant: str) -> None:
+        self._service = service
+        self.tenant = tenant
+
+    async def transpile(
+        self,
+        circuit: QuantumCircuit,
+        topology: "CouplingMap | str",
+        **kwargs: object,
+    ) -> TranspileResult:
+        """Submit one request under this client's tenant and await it."""
+        return await self._service.submit(
+            circuit, topology, tenant=self.tenant, **kwargs
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceClient(tenant={self.tenant!r})"
+
+
+class MirageService:
+    """Long-lived asyncio transpilation service over the batch engine.
+
+    Parameters
+    ----------
+    executor : str, TrialExecutor, or None
+        Trial executor serving every window — ``"threads"`` (default),
+        ``"processes"``, ``"serial"``/``None``, or a borrowed instance
+        (left open on :meth:`aclose`; owned executors are closed).
+    max_workers : int, optional
+        Worker count for executors created from a string spec.
+    window_ms : float, optional
+        Admission window in milliseconds; defaults to
+        ``MIRAGE_SERVICE_WINDOW_MS`` (or 10 ms).  ``0`` dispatches every
+        request on the next event-loop tick without coalescing.
+    registry : CoverageRegistry, optional
+        Coverage-set registry shared by every request; a fresh private
+        registry by default.  Pass
+        :data:`repro.polytopes.registry.DEFAULT_REGISTRY` to share sets
+        with direct ``transpile()`` callers in the same process.
+    coverage_params : dict, optional
+        Build parameters (``num_samples``, ``seed``, ``max_depth``,
+        ``mirror``) bound into every registry lookup — one coverage
+        configuration per service instance.
+    prewarm : bool
+        Spawn the executor's full worker complement before the first
+        dispatch (on first submit / ``async with`` entry).
+
+    Notes
+    -----
+    All service methods must be called from a running event loop; the
+    dispatch work itself runs on worker threads (and the executor's
+    pool), so the loop stays responsive while batches execute.  Fixed
+    request seeds give byte-identical results to direct
+    :func:`~repro.core.transpile.transpile` calls regardless of how
+    requests interleave, coalesce, or which executor serves them.
+    """
+
+    def __init__(
+        self,
+        *,
+        executor: "str | TrialExecutor | None" = "threads",
+        max_workers: int | None = None,
+        window_ms: float | None = None,
+        registry: CoverageRegistry | None = None,
+        coverage_params: dict | None = None,
+        prewarm: bool = True,
+    ) -> None:
+        self._executor = resolve_executor(executor, max_workers)
+        self._owns_executor = owns_executor(executor)
+        self._window_seconds = (
+            window_ms if window_ms is not None else service_window_ms()
+        ) / 1000.0
+        self.registry = registry if registry is not None else CoverageRegistry()
+        self._coverage_params = dict(coverage_params or {})
+        self._prewarm = prewarm
+        self._warmed = False
+        self._closed = False
+        self._window_ids = itertools.count()
+        self._open_windows: dict[_WindowKey, _Window] = {}
+        self._inflight: set[asyncio.Task] = set()
+        # One window dispatches at a time: the executor's dispatch paths
+        # are thread-safe, but serialising windows keeps the per-window
+        # dispatch-counter deltas exact (provenance would otherwise mix
+        # concurrent windows' counters).
+        self._dispatch_lock = threading.Lock()
+        self._requests = 0
+        self._completed = 0
+        self._failed = 0
+        self._tenant_counts: collections.Counter[str] = collections.Counter()
+        self._window_log: list[dict] = []
+
+    # -- client surface -----------------------------------------------------
+
+    def client(self, tenant: str = "default") -> ServiceClient:
+        """Create an in-process :class:`ServiceClient` for ``tenant``."""
+        return ServiceClient(self, tenant)
+
+    async def submit(
+        self,
+        circuit: QuantumCircuit,
+        topology: "CouplingMap | str",
+        *,
+        basis: str = "sqrt_iswap",
+        seed: "int | np.random.SeedSequence | None" = 11,
+        tenant: str = "default",
+        method: str = "mirage",
+        selection: str = "depth",
+        aggression: "int | str | Sequence[int] | None" = None,
+        layout_trials: int = 4,
+        refinement_rounds: int = 2,
+        routing_trials: int = 1,
+        use_vf2: bool = True,
+    ) -> TranspileResult:
+        """Submit one transpilation request; await its result.
+
+        Requests submitted within one admission window that share a
+        batch-compatibility key (topology geometry, basis, method,
+        selection and the trial knobs) are coalesced into a single
+        streaming batch dispatch.  The returned
+        :class:`~repro.core.results.TranspileResult` is byte-identical
+        to ``transpile(circuit, topology, ..., seed=seed)`` — the
+        request's seed rides the batch through ``circuit_seeds``, so
+        coalescing never changes an output bit.
+
+        Raises
+        ------
+        ServiceError
+            If the service has been closed.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        loop = asyncio.get_running_loop()
+        if self._prewarm and not self._warmed:
+            self._warmed = True
+            await asyncio.to_thread(self._executor.prewarm)
+            if self._closed:  # closed while warming
+                raise ServiceError("service is closed")
+        key = _WindowKey(
+            topology=_topology_key(topology),
+            basis=basis,
+            method=method,
+            selection=selection,
+            aggression=_aggression_key(aggression),
+            layout_trials=layout_trials,
+            refinement_rounds=refinement_rounds,
+            routing_trials=routing_trials,
+            use_vf2=use_vf2,
+        )
+        request = _PendingRequest(
+            circuit=circuit,
+            seed=seed,
+            tenant=tenant,
+            future=loop.create_future(),
+            enqueued=time.perf_counter(),
+        )
+        self._requests += 1
+        self._tenant_counts[tenant] += 1
+        window = self._open_windows.get(key)
+        if window is None:
+            window = _Window(
+                id=next(self._window_ids),
+                key=key,
+                topology=topology,
+                requests=[],
+                opened=time.perf_counter(),
+            )
+            self._open_windows[key] = window
+            if self._window_seconds > 0:
+                window.handle = loop.call_later(
+                    self._window_seconds, self._seal, window
+                )
+            else:
+                window.handle = None
+                loop.call_soon(self._seal, window)
+        window.requests.append(request)
+        return await request.future
+
+    # -- window lifecycle ---------------------------------------------------
+
+    def _seal(self, window: _Window) -> None:
+        """Close a window to admissions and launch its dispatch task."""
+        if window.sealed:
+            return
+        window.sealed = True
+        if window.handle is not None:
+            window.handle.cancel()
+        if self._open_windows.get(window.key) is window:
+            del self._open_windows[window.key]
+        task = asyncio.get_running_loop().create_task(self._dispatch(window))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _dispatch(self, window: _Window) -> None:
+        """Run one sealed window's batch and deliver its results."""
+        try:
+            batch, waits = await asyncio.to_thread(self._run_window, window)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+            self._failed += len(window.requests)
+            self._window_log.append(self._window_record(window, None, None, exc))
+            for request in window.requests:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        self._completed += len(window.requests)
+        self._window_log.append(self._window_record(window, batch, waits, None))
+        for request, result in zip(window.requests, batch.results):
+            if not request.future.done():
+                request.future.set_result(result)
+
+    def _run_window(
+        self, window: _Window
+    ) -> tuple[BatchResult, list[float]]:
+        """Dispatch one window's batch on a worker thread (blocking)."""
+        with self._dispatch_lock, self._executor.lease():
+            started = time.perf_counter()
+            waits = [started - request.enqueued for request in window.requests]
+            key = window.key
+            handle = self.registry.bind(
+                topology=key.topology, **self._coverage_params
+            )
+            batch = transpile_many(
+                [request.circuit for request in window.requests],
+                window.topology,
+                basis=key.basis,
+                method=key.method,
+                selection=key.selection,
+                aggression=key.aggression,
+                layout_trials=key.layout_trials,
+                refinement_rounds=key.refinement_rounds,
+                routing_trials=key.routing_trials,
+                coverage=handle,
+                use_vf2=key.use_vf2,
+                circuit_seeds=[request.seed for request in window.requests],
+                executor=self._executor,
+                scheduler="stream",
+            )
+        return batch, waits
+
+    def _window_record(
+        self,
+        window: _Window,
+        batch: BatchResult | None,
+        waits: list[float] | None,
+        error: BaseException | None,
+    ) -> dict:
+        tenants: collections.Counter[str] = collections.Counter(
+            request.tenant for request in window.requests
+        )
+        record = {
+            "window": window.id,
+            "basis": window.key.basis,
+            "method": window.key.method,
+            "requests": len(window.requests),
+            "tenants": dict(tenants),
+        }
+        if waits:
+            record["queue_wait_seconds"] = {
+                "max": round(max(waits), 6),
+                "mean": round(sum(waits) / len(waits), 6),
+            }
+        if batch is not None:
+            record["dispatch"] = batch.dispatch
+            record["executor"] = batch.executor
+            record["fanout"] = batch.fanout
+            record["runtime_seconds"] = round(batch.runtime_seconds, 6)
+        if error is not None:
+            record["error"] = repr(error)
+        return record
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service provenance snapshot for dashboards and tests.
+
+        Returns a dict with aggregate counters (``requests``,
+        ``completed``, ``failed``, per-``tenants`` request counts),
+        window accounting (``windows`` dispatched, ``coalesced_requests``
+        — requests that shared a window with at least one other,
+        ``open_windows`` still admitting), the per-window ``window_log``
+        (request/tenant counts, queue waits, and the dispatch counters
+        inherited from :attr:`~repro.core.results.BatchResult.dispatch`),
+        plus ``registry`` hit/miss/build counters and the executor's
+        cumulative ``dispatch_stats``.
+        """
+        return {
+            "requests": self._requests,
+            "completed": self._completed,
+            "failed": self._failed,
+            "tenants": dict(self._tenant_counts),
+            "windows": len(self._window_log),
+            "coalesced_requests": sum(
+                record["requests"]
+                for record in self._window_log
+                if record["requests"] > 1
+            ),
+            "open_windows": len(self._open_windows),
+            "window_log": [dict(record) for record in self._window_log],
+            "registry": self.registry.stats(),
+            "executor": dict(self._executor.dispatch_stats),
+        }
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`aclose` has run (or begun running)."""
+        return self._closed
+
+    @property
+    def executor(self) -> TrialExecutor:
+        """The trial executor serving this service's window dispatches."""
+        return self._executor
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Drain and shut down: flush open windows, close owned resources.
+
+        Every open admission window is sealed and dispatched immediately
+        (pending ``submit`` awaiters resolve normally), in-flight
+        dispatches are awaited, and — when the service created its
+        executor — the worker pool is shut down.  After ``aclose``
+        returns, no worker processes and no shared-memory segments
+        created on the service's behalf remain, and further submissions
+        raise :class:`~repro.exceptions.ServiceError`.  Idempotent.
+        """
+        if self._closed:
+            # A second aclose still drains whatever is in flight.
+            while self._inflight:
+                await asyncio.gather(
+                    *list(self._inflight), return_exceptions=True
+                )
+            return
+        self._closed = True
+        for window in list(self._open_windows.values()):
+            self._seal(window)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        if self._owns_executor:
+            await asyncio.to_thread(self._executor.close)
+
+    async def __aenter__(self) -> "MirageService":
+        if self._prewarm and not self._warmed:
+            self._warmed = True
+            await asyncio.to_thread(self._executor.prewarm)
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MirageService(executor={self._executor.name!r}, "
+            f"window_ms={self._window_seconds * 1000:g}, "
+            f"closed={self._closed})"
+        )

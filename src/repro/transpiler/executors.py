@@ -474,6 +474,11 @@ def reset_worker_state() -> None:
     _worker_bytes_copied = 0
 
 
+def _prewarm_probe(index: int) -> int:
+    """No-op worker task used by ``prewarm`` to force worker spawn."""
+    return os.getpid()
+
+
 class _ViewReader(io.RawIOBase):
     """Minimal read-only file over a memoryview — no upfront body copy.
 
@@ -1704,6 +1709,59 @@ class TrialExecutor:
         # Chunk completion callbacks fold worker-side copy counts in from
         # the pool's collector thread, so counter updates are locked.
         self._stats_lock = threading.Lock()
+        # Long-lived owners (the service tier) lease the executor around
+        # each dispatch; close() refuses while leases are active so a
+        # shutdown racing an in-flight batch fails loudly instead of
+        # tearing the pool out from under it.
+        self._lease_lock = threading.Lock()
+        self._lease_count = 0
+
+    @contextlib.contextmanager
+    def lease(self) -> Iterator["TrialExecutor"]:
+        """Mark this executor in-use for the duration of a dispatch.
+
+        Purely advisory bookkeeping: concurrent leases are fine (the
+        dispatch paths are thread-safe), but :meth:`close` raises while
+        any lease is held, protecting warm, shared executors from a
+        shutdown racing an in-flight batch.
+        """
+        with self._lease_lock:
+            self._lease_count += 1
+        try:
+            yield self
+        finally:
+            with self._lease_lock:
+                self._lease_count -= 1
+
+    def active_leases(self) -> int:
+        """Number of currently held :meth:`lease` contexts."""
+        with self._lease_lock:
+            return self._lease_count
+
+    def _ensure_unleased(self) -> None:
+        active = self.active_leases()
+        if active:
+            raise TranspilerError(
+                f"cannot close executor with {active} active lease(s)"
+            )
+
+    def prewarm(self) -> int:
+        """Spin up worker resources ahead of the first dispatch.
+
+        Returns the number of workers warmed (0 for executors with no
+        pool).  Warm pools turn the first request's latency from
+        pool-spawn-plus-work into work alone; the service tier calls
+        this at startup.
+        """
+        return 0
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of live worker processes (empty for in-process executors).
+
+        Exposed so lifecycle tests (and operators) can assert that a
+        shutdown left no workers behind.
+        """
+        return []
 
     def map(
         self,
@@ -1752,7 +1810,11 @@ class TrialExecutor:
                 self.dispatch_stats[key] += value
 
     def close(self) -> None:
-        """Release any worker resources.  Idempotent."""
+        """Release any worker resources.  Idempotent.
+
+        Raises :class:`TranspilerError` while a :meth:`lease` is active.
+        """
+        self._ensure_unleased()
 
     def __enter__(self) -> "TrialExecutor":
         return self
@@ -1844,7 +1906,22 @@ class _PoolExecutor(TrialExecutor):
         chunksize = max(1, math.ceil(len(batch) / workers))
         return list(pool.map(fn, batch, chunksize=chunksize))
 
+    def prewarm(self) -> int:
+        """Create the pool and spawn its full worker complement now.
+
+        One probe task per worker forces ``concurrent.futures`` to spawn
+        every worker up front (both pool flavours start workers on
+        demand), so the first real dispatch pays no spawn latency.
+        Idempotent: a warm pool absorbs the probes in microseconds.
+        """
+        pool = self._ensure_pool()
+        workers = self.max_workers or os.cpu_count() or 1
+        probes = [pool.submit(_prewarm_probe, index) for index in range(workers)]
+        concurrent.futures.wait(probes)
+        return workers
+
     def close(self) -> None:
+        self._ensure_unleased()
         with self._pool_lock:
             pool = self._pool
             self._pool = None
@@ -1894,6 +1971,18 @@ class ProcessExecutor(_PoolExecutor):
         return concurrent.futures.ProcessPoolExecutor(
             max_workers=self.max_workers
         )
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the pool's live worker processes (empty when cold)."""
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return []
+        return [
+            process.pid
+            for process in getattr(pool, "_processes", {}).values()
+            if process.is_alive()
+        ]
 
     def _terminate_pool(self, pool: concurrent.futures.Executor) -> None:
         """Kill a pool's workers outright before shutting it down.

@@ -103,6 +103,61 @@ def test_fanout_rejects_unknown_mode():
         _batch("galaxies")
 
 
+@pytest.mark.parametrize("knob, value", [
+    ("fanout", "galaxies"),
+    ("fanout", "TRIALS "),
+    ("fanout", 3),
+    ("scheduler", "warp"),
+    ("scheduler", "streaming"),
+    ("scheduler", None),
+    ("plan", "remote"),
+    ("plan", "exec"),
+    ("plan", 1.5),
+])
+def test_string_knobs_rejected_up_front_with_accepted_values(knob, value):
+    """Typos in ``fanout=``/``scheduler=``/``plan=`` fail fast as
+    ``ValueError`` naming the accepted modes — before any coverage-set
+    build or executor spawn (an empty batch and no coverage set: if
+    validation were not first, this would try to build one)."""
+    with pytest.raises(ValueError, match="accepted:") as excinfo:
+        transpile_many([], line_topology(4), **{knob: value})
+    assert f"unknown {knob} mode" in str(excinfo.value)
+
+
+def test_mode_error_is_both_transpiler_and_value_error():
+    """Callers catching either historical type keep working."""
+    with pytest.raises(TranspilerError):
+        transpile_many([], line_topology(4), coverage=COVERAGE, scheduler="warp")
+    with pytest.raises(ValueError):
+        transpile_many([], line_topology(4), coverage=COVERAGE, fanout="warp")
+
+
+def test_explicit_circuit_seeds_match_direct_transpile():
+    """``circuit_seeds`` pins each slot to its own seed root: position i
+    is byte-identical to ``transpile(seed=circuit_seeds[i])``, which is
+    what lets the service tier coalesce requests without changing any
+    output bit."""
+    from repro.core.transpile import transpile
+
+    seeds = [5, 91, 17]
+    circuits = [qft(4), ghz(5), twolocal_full(4)]
+    batch = _batch("circuits", circuits=circuits, circuit_seeds=seeds,
+                   scheduler="stream")
+    direct = [
+        transpile(circuit, line_topology(5), coverage=COVERAGE,
+                  use_vf2=False, layout_trials=3, seed=seed)
+        for circuit, seed in zip(circuits, seeds)
+    ]
+    assert [_fingerprint(r) for r in batch] == [
+        _fingerprint(r) for r in direct
+    ]
+
+
+def test_circuit_seeds_length_mismatch_rejected():
+    with pytest.raises(TranspilerError, match="circuit_seeds"):
+        _batch("circuits", circuits=[qft(4), ghz(5)], circuit_seeds=[1])
+
+
 def test_circuit_fanout_handles_vf2_embedded_circuits():
     """Circuits VF2 embeds contribute no trials but keep their slot."""
     circuits = [ghz(4), qft(4), ghz(3)]

@@ -315,6 +315,50 @@ def test_disk_cache_corrupt_entry_rebuilds(tmp_path, monkeypatch):
         assert pickle.load(handle).basis == "sqrt_iswap"
 
 
+def test_disk_cache_truncated_entry_rebuilds(tmp_path, monkeypatch):
+    """A writer crash mid-pickle must read as a miss, not an error."""
+    monkeypatch.setenv("MIRAGE_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("MIRAGE_CACHE_DISABLE", raising=False)
+    kwargs = dict(num_samples=150, seed=7, mirror=False, anchor=False)
+    load_or_build_coverage_set("sqrt_iswap", **kwargs)
+    entry = next(tmp_path.glob("coverage-v*.pkl"))
+    payload = entry.read_bytes()
+    entry.write_bytes(payload[: len(payload) // 2])
+    rebuilt = load_or_build_coverage_set("sqrt_iswap", **kwargs)
+    assert rebuilt.basis == "sqrt_iswap"
+    # The truncated entry was atomically replaced with a loadable one.
+    restored = next(tmp_path.glob("coverage-v*.pkl")).read_bytes()
+    assert pickle.loads(restored).basis == "sqrt_iswap"
+    assert len(restored) == len(payload)
+
+
+def test_disk_cache_wrong_object_entry_rebuilds(tmp_path, monkeypatch):
+    """A well-formed pickle of the wrong thing is poison, not a hit."""
+    monkeypatch.setenv("MIRAGE_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("MIRAGE_CACHE_DISABLE", raising=False)
+    kwargs = dict(num_samples=150, seed=7, mirror=False, anchor=False)
+    load_or_build_coverage_set("sqrt_iswap", **kwargs)
+    entry = next(tmp_path.glob("coverage-v*.pkl"))
+    entry.write_bytes(pickle.dumps({"looks": "plausible", "is": "not"}))
+    rebuilt = load_or_build_coverage_set("sqrt_iswap", **kwargs)
+    assert rebuilt.basis == "sqrt_iswap"
+    assert pickle.loads(entry.read_bytes()).basis == "sqrt_iswap"
+
+
+def test_disk_cache_mismatched_entry_rebuilds(tmp_path, monkeypatch):
+    """An entry whose contents contradict its key is rejected."""
+    monkeypatch.setenv("MIRAGE_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("MIRAGE_CACHE_DISABLE", raising=False)
+    kwargs = dict(num_samples=150, seed=7, mirror=False, anchor=False)
+    load_or_build_coverage_set("sqrt_iswap", **kwargs)
+    entry = next(tmp_path.glob("coverage-v*.pkl"))
+    other = load_or_build_coverage_set("cnot", **kwargs)
+    entry.write_bytes(pickle.dumps(other))
+    rebuilt = load_or_build_coverage_set("sqrt_iswap", **kwargs)
+    assert rebuilt.basis == "sqrt_iswap"
+    assert pickle.loads(entry.read_bytes()).basis == "sqrt_iswap"
+
+
 def test_disk_cache_disable(tmp_path, monkeypatch):
     monkeypatch.setenv("MIRAGE_CACHE_DIR", str(tmp_path))
     monkeypatch.setenv("MIRAGE_CACHE_DISABLE", "1")

@@ -21,11 +21,13 @@ import numpy as np
 import pytest
 
 from repro.exceptions import TranspilerError
+from repro.circuits.circuit import random_two_qubit_block_circuit
 from repro.circuits.dag import DAGCircuit
 from repro.circuits.library import ghz, qft, twolocal_full
 from repro.core import MirageSwap, transpile
 from repro.polytopes import get_coverage_set
 from repro.transpiler import (
+    CouplingMap,
     Layout,
     grid_topology,
     heavy_hex_topology,
@@ -322,6 +324,99 @@ def test_neighbor_table_matches_coupling():
     assert np.array_equal(
         table.dist_int.astype(float), coupling.distance_matrix
     )
+
+
+# ---------------------------------------------------------------------------
+# Property-based differential fuzzing: random DAGs x couplings x seeds
+# ---------------------------------------------------------------------------
+#
+# A seeded generator rather than hypothesis keeps every case exactly
+# reproducible from its index (no shrinking, no example database) while
+# still sweeping structurally random inputs: Haar-random two-qubit block
+# circuits, random connected couplings (random spanning tree plus random
+# chords), random layouts, seeds and aggressions.
+
+
+def _random_connected_coupling(rng, num_qubits):
+    """Random connected topology: a spanning tree plus random chords."""
+    order = rng.permutation(num_qubits)
+    edges = set()
+    for position in range(1, num_qubits):
+        anchor = order[int(rng.integers(0, position))]
+        edges.add(tuple(sorted((int(order[position]), int(anchor)))))
+    for _ in range(int(rng.integers(0, num_qubits))):
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        edges.add(tuple(sorted((int(a), int(b)))))
+    return CouplingMap(
+        sorted(edges), num_qubits=num_qubits, name=f"random-{num_qubits}"
+    )
+
+
+def _routing_stream(result):
+    return (
+        [
+            (node.gate.name, tuple(node.qubits))
+            for node_id in sorted(result.dag.nodes)
+            for node in (result.dag.nodes[node_id],)
+        ],
+        result.final_layout.virtual_to_physical(),
+        result.swaps_added,
+    )
+
+
+@pytest.mark.parametrize("case", range(10))
+def test_property_random_dag_coupling_seed_identity(monkeypatch, case):
+    """Differential fuzz: both kernels route every random instance
+    identically — op stream, final layout and SWAP count."""
+    rng = np.random.default_rng(0xC0FFEE + case)
+    num_qubits = int(rng.integers(4, 8))
+    circuit = random_two_qubit_block_circuit(
+        num_qubits, int(rng.integers(5, 16)), rng
+    )
+    coupling = _random_connected_coupling(
+        rng, num_qubits + int(rng.integers(0, 3))
+    )
+    dag = DAGCircuit.from_circuit(circuit)
+    layout = Layout.random(dag.num_qubits, coupling.num_qubits, rng)
+    seed = int(rng.integers(0, 2**31))
+    aggression = int(rng.integers(0, 4))
+
+    def run(mode, router_factory):
+        monkeypatch.setenv("MIRAGE_ROUTE_KERNEL", mode)
+        return _routing_stream(
+            router_factory().run(dag, layout.copy(), seed=seed)
+        )
+
+    sabre = lambda: SabreSwap(coupling)  # noqa: E731 - tiny local factories
+    mirage = lambda: MirageSwap(  # noqa: E731
+        coupling, coverage=COVERAGE, aggression=aggression
+    )
+    assert run("flat", sabre) == run("object", sabre)
+    assert run("flat", mirage) == run("object", mirage)
+
+
+@pytest.mark.parametrize("case", range(3))
+def test_property_full_transpile_identity_on_random_couplings(
+    monkeypatch, case
+):
+    """End-to-end digests agree on random couplings (layout trials,
+    selection and routing all downstream of the kernel switch)."""
+    rng = np.random.default_rng(1729 + case)
+    circuit = random_two_qubit_block_circuit(5, int(rng.integers(6, 12)), rng)
+    coupling = _random_connected_coupling(rng, 6)
+    seed = int(rng.integers(0, 2**31))
+    flat, obj = _transpile_both(
+        monkeypatch,
+        circuit,
+        coupling,
+        method="mirage",
+        layout_trials=2,
+        use_vf2=False,
+        coverage=COVERAGE,
+        seed=seed,
+    )
+    assert _digest(flat) == _digest(obj)
+    assert flat.metrics.depth == obj.metrics.depth
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,441 @@
+"""Concurrency harness for the transpilation-as-a-service tier.
+
+Pins the four hard guarantees of :class:`repro.service.MirageService`
+under genuinely concurrent, multi-tenant load:
+
+* **Byte-identity** — results returned through the service (coalesced,
+  interleaved, on warm pools) are byte-identical to direct
+  :func:`repro.core.transpile.transpile` calls at the same seed;
+* **Single-flight coverage** — a coverage set is built exactly once per
+  registry key no matter how many concurrent requests race the cold
+  cache;
+* **Coalescing provenance** — requests admitted within one window
+  produce exactly one batch dispatch, and the provenance log says so;
+* **Clean shutdown** — ``aclose()`` leaks no shared-memory segments and
+  no worker processes, including when a fault plan kills a worker
+  mid-window.
+
+No pytest-asyncio: each test drives a private event loop through
+``asyncio.run`` with an internal deadline, so a wedged service fails
+the test instead of hanging the suite.
+"""
+
+import asyncio
+import glob
+import os
+import threading
+import time
+
+import pytest
+
+from repro.circuits.library import ghz, qft, twolocal_full
+from repro.core.transpile import transpile
+from repro.exceptions import ServiceError, TranspilerError
+from repro.polytopes import CoverageRegistry, get_coverage_set
+from repro.service import (
+    DEFAULT_WINDOW_MS,
+    WINDOW_ENV,
+    MirageService,
+    ServiceClient,
+    service_window_ms,
+)
+from repro.service.service import _topology_key
+from repro.transpiler import ProcessExecutor, line_topology
+from repro.transpiler.executors import SHM_SEGMENT_PREFIX
+
+COVERAGE_PARAMS = dict(num_samples=250, seed=3)
+COVERAGE = get_coverage_set("sqrt_iswap", **COVERAGE_PARAMS)
+TOPOLOGY = line_topology(5)
+
+#: Per-request knobs shared by the service submits and the direct
+#: ``transpile`` baselines — byte-identity only holds when both sides
+#: run the identical configuration.
+REQUEST_KNOBS = dict(use_vf2=False, layout_trials=2)
+
+
+def _own_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{SHM_SEGMENT_PREFIX}{os.getpid()}_*")
+
+
+def _fingerprint(result):
+    """Byte-level identity of a transpile result, modulo wall-clock."""
+    return (
+        [(instr.gate.name, instr.qubits) for instr in result.circuit],
+        result.initial_layout.virtual_to_physical(),
+        result.final_layout.virtual_to_physical(),
+        result.swaps_added,
+        result.mirrors_accepted,
+        result.trial_index,
+        round(result.metrics.depth, 9),
+    )
+
+
+def _direct(circuit, seed):
+    """The ground truth: a one-shot transpile at the request's seed."""
+    return transpile(
+        circuit, TOPOLOGY, coverage=COVERAGE, seed=seed, **REQUEST_KNOBS
+    )
+
+
+def _registry() -> CoverageRegistry:
+    """A service registry preloaded with the module's coverage set."""
+    registry = CoverageRegistry()
+    registry.put(
+        COVERAGE,
+        "sqrt_iswap",
+        topology=_topology_key(TOPOLOGY),
+        **COVERAGE_PARAMS,
+    )
+    return registry
+
+
+def _service(**kwargs) -> MirageService:
+    kwargs.setdefault("executor", "threads")
+    kwargs.setdefault("max_workers", 2)
+    kwargs.setdefault("registry", _registry())
+    kwargs.setdefault("coverage_params", COVERAGE_PARAMS)
+    return MirageService(**kwargs)
+
+
+def _run(coro, timeout=600.0):
+    """Drive a coroutine on a fresh loop with a hang-proof deadline."""
+
+    async def _bounded():
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(_bounded())
+
+
+# ---------------------------------------------------------------------------
+# Guarantee 1: byte-identity with direct transpile, per request seed
+# ---------------------------------------------------------------------------
+
+
+#: (circuit, seed, tenant) for the staggered multi-tenant load test;
+#: qft(4) appears twice under different seeds, so coalescing must keep
+#: per-request seeds straight even for identical payloads.
+LOAD = [
+    (qft(4), 3, "alice"),
+    (ghz(5), 11, "bob"),
+    (twolocal_full(4), 17, "alice"),
+    (qft(4), 23, "carol"),
+    (ghz(5), 5, "bob"),
+    (twolocal_full(4), 41, "carol"),
+]
+
+
+def test_staggered_multi_tenant_requests_match_direct_transpile():
+    """Dozens of interleaved awaits, three tenants, one warm pool —
+    every response byte-identical to a direct call at its own seed."""
+    expected = [_fingerprint(_direct(circuit, seed)) for circuit, seed, _ in LOAD]
+
+    async def main():
+        async with _service(window_ms=40.0) as service:
+            async def one(delay, circuit, seed, tenant):
+                await asyncio.sleep(delay)
+                return await service.submit(
+                    circuit, TOPOLOGY, seed=seed, tenant=tenant,
+                    **REQUEST_KNOBS,
+                )
+
+            results = await asyncio.gather(*(
+                one(0.015 * (index % 4), circuit, seed, tenant)
+                for index, (circuit, seed, tenant) in enumerate(LOAD)
+            ))
+            return results, service.stats()
+
+    results, stats = _run(main())
+    assert [_fingerprint(result) for result in results] == expected
+    assert stats["requests"] == len(LOAD)
+    assert stats["completed"] == len(LOAD)
+    assert stats["failed"] == 0
+    assert stats["tenants"] == {"alice": 2, "bob": 2, "carol": 2}
+    assert stats["open_windows"] == 0
+    assert sum(record["requests"] for record in stats["window_log"]) == len(LOAD)
+
+
+def test_client_binds_tenant_and_forwards():
+    expected = _fingerprint(_direct(qft(4), 9))
+
+    async def main():
+        async with _service(window_ms=0.0) as service:
+            client = service.client("tenant-a")
+            assert isinstance(client, ServiceClient)
+            result = await client.transpile(
+                qft(4), TOPOLOGY, seed=9, **REQUEST_KNOBS
+            )
+            return result, service.stats()
+
+    result, stats = _run(main())
+    assert _fingerprint(result) == expected
+    assert stats["tenants"] == {"tenant-a": 1}
+
+
+# ---------------------------------------------------------------------------
+# Guarantee 2: coverage built exactly once per key under contention
+# ---------------------------------------------------------------------------
+
+
+def test_registry_single_flight_under_thread_contention():
+    """Eight threads race a cold key; exactly one build, shared object."""
+    calls = {"count": 0}
+    release = threading.Event()
+
+    def loader(basis, **kwargs):
+        calls["count"] += 1
+        release.wait(5.0)
+        return COVERAGE
+
+    registry = CoverageRegistry(loader=loader)
+    results = [None] * 8
+    threads = [
+        threading.Thread(
+            target=lambda i=i: results.__setitem__(
+                i, registry.get("sqrt_iswap", **COVERAGE_PARAMS)
+            )
+        )
+        for i in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    while registry.stats()["misses"] == 0:
+        time.sleep(0.001)
+    release.set()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert calls["count"] == 1
+    assert all(result is COVERAGE for result in results)
+    stats = registry.stats()
+    assert stats["builds"] == 1
+    assert stats["misses"] == 1
+    assert stats["waits"] == 7
+    assert stats["errors"] == 0
+
+
+def test_registry_failed_build_propagates_and_leaves_key_cold():
+    attempts = {"count": 0}
+
+    def loader(basis, **kwargs):
+        attempts["count"] += 1
+        if attempts["count"] == 1:
+            raise RuntimeError("simulated build failure")
+        return COVERAGE
+
+    registry = CoverageRegistry(loader=loader)
+    with pytest.raises(RuntimeError, match="simulated build failure"):
+        registry.get("sqrt_iswap", **COVERAGE_PARAMS)
+    assert registry.stats()["errors"] == 1
+    assert len(registry) == 0
+    # The key went cold, so the next request retries — and succeeds.
+    assert registry.get("sqrt_iswap", **COVERAGE_PARAMS) is COVERAGE
+    assert attempts["count"] == 2
+
+
+def test_service_builds_coverage_once_across_windows():
+    """Sequential windows on one service share a single coverage build."""
+    calls = {"count": 0}
+
+    def loader(basis, **kwargs):
+        calls["count"] += 1
+        return COVERAGE
+
+    registry = CoverageRegistry(loader=loader)
+
+    async def main():
+        async with _service(window_ms=0.0, registry=registry) as service:
+            for seed in (2, 4, 6):
+                await service.submit(
+                    ghz(5), TOPOLOGY, seed=seed, **REQUEST_KNOBS
+                )
+            return service.stats()
+
+    stats = _run(main())
+    assert calls["count"] == 1
+    assert stats["registry"]["builds"] == 1
+    assert stats["registry"]["misses"] == 1
+    assert stats["registry"]["hits"] == 2
+    assert stats["windows"] == 3
+    assert stats["coalesced_requests"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Guarantee 3: one admission window -> one batch dispatch
+# ---------------------------------------------------------------------------
+
+
+def test_window_coalesces_concurrent_requests_into_one_dispatch():
+    expected = [_fingerprint(_direct(circuit, seed)) for circuit, seed, _ in LOAD[:4]]
+
+    async def main():
+        async with _service(window_ms=250.0) as service:
+            results = await asyncio.gather(*(
+                service.submit(
+                    circuit, TOPOLOGY, seed=seed, tenant=tenant,
+                    **REQUEST_KNOBS,
+                )
+                for circuit, seed, tenant in LOAD[:4]
+            ))
+            return results, service.stats()
+
+    results, stats = _run(main())
+    assert [_fingerprint(result) for result in results] == expected
+    # One window, one dispatch, all four circuits inside it.
+    assert stats["windows"] == 1
+    assert stats["coalesced_requests"] == 4
+    (record,) = stats["window_log"]
+    assert record["requests"] == 4
+    assert record["tenants"] == {"alice": 2, "bob": 1, "carol": 1}
+    assert record["dispatch"]["circuits"] == 4
+    assert record["dispatch"]["scheduler"] == "stream"
+    assert record["queue_wait_seconds"]["max"] >= 0.0
+    assert record["runtime_seconds"] > 0
+
+
+def test_incompatible_requests_open_separate_windows():
+    """Different trial knobs cannot share a batch, so they never coalesce."""
+
+    async def main():
+        async with _service(window_ms=250.0) as service:
+            results = await asyncio.gather(
+                service.submit(
+                    qft(4), TOPOLOGY, seed=7, use_vf2=False, layout_trials=2
+                ),
+                service.submit(
+                    qft(4), TOPOLOGY, seed=7, use_vf2=False, layout_trials=3
+                ),
+            )
+            return results, service.stats()
+
+    results, stats = _run(main())
+    assert stats["windows"] == 2
+    assert stats["coalesced_requests"] == 0
+    assert all(record["requests"] == 1 for record in stats["window_log"])
+    assert _fingerprint(results[0]) == _fingerprint(
+        transpile(
+            qft(4), TOPOLOGY, coverage=COVERAGE, seed=7,
+            use_vf2=False, layout_trials=2,
+        )
+    )
+
+
+def test_aclose_flushes_open_windows():
+    """Requests parked in a not-yet-expired window resolve on aclose."""
+    expected = [_fingerprint(_direct(qft(4), 13)), _fingerprint(_direct(ghz(5), 29))]
+
+    async def main():
+        service = _service(window_ms=30_000.0)  # would park ~forever
+        first = asyncio.ensure_future(
+            service.submit(qft(4), TOPOLOGY, seed=13, **REQUEST_KNOBS)
+        )
+        second = asyncio.ensure_future(
+            service.submit(ghz(5), TOPOLOGY, seed=29, **REQUEST_KNOBS)
+        )
+        await asyncio.sleep(0.1)  # both admitted, window still open
+        await service.aclose()
+        results = [await first, await second]
+        return results, service.stats()
+
+    results, stats = _run(main())
+    assert [_fingerprint(result) for result in results] == expected
+    assert stats["windows"] == 1
+    assert stats["coalesced_requests"] == 2
+    assert stats["completed"] == 2
+
+
+def test_closed_service_rejects_submissions():
+    async def main():
+        service = _service(prewarm=False)
+        await service.aclose()
+        with pytest.raises(ServiceError, match="closed"):
+            await service.submit(qft(4), TOPOLOGY, **REQUEST_KNOBS)
+        assert service.closed
+        await service.aclose()  # idempotent
+
+    _run(main())
+
+
+def test_window_env_parsing(monkeypatch):
+    monkeypatch.setenv(WINDOW_ENV, "25")
+    assert service_window_ms() == 25.0
+    monkeypatch.setenv(WINDOW_ENV, "0")
+    assert service_window_ms() == 0.0
+    for junk in ("", "soon", "-4"):
+        monkeypatch.setenv(WINDOW_ENV, junk)
+        assert service_window_ms() == DEFAULT_WINDOW_MS
+    monkeypatch.delenv(WINDOW_ENV)
+    assert service_window_ms() == DEFAULT_WINDOW_MS
+
+
+# ---------------------------------------------------------------------------
+# Guarantee 4: aclose leaks nothing -- clean runs and killed workers alike
+# ---------------------------------------------------------------------------
+
+
+def _assert_workers_dead(pids):
+    assert pids, "expected the pool to expose worker pids"
+    for pid in pids:
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+
+
+def test_process_service_shutdown_leaves_no_workers_or_segments():
+    expected = [_fingerprint(_direct(circuit, seed)) for circuit, seed, _ in LOAD[:3]]
+
+    async def main():
+        async with _service(executor="processes", window_ms=50.0) as service:
+            pids = service.executor.worker_pids()
+            assert len(pids) == 2  # prewarmed before the first request
+            results = await asyncio.gather(*(
+                service.submit(
+                    circuit, TOPOLOGY, seed=seed, tenant=tenant,
+                    **REQUEST_KNOBS,
+                )
+                for circuit, seed, tenant in LOAD[:3]
+            ))
+        return results, pids
+
+    results, pids = _run(main())
+    assert [_fingerprint(result) for result in results] == expected
+    assert _own_segments() == []
+    _assert_workers_dead(pids)
+
+
+def test_worker_kill_mid_window_recovers_and_leaks_nothing(monkeypatch):
+    """A worker killed mid-window is respawned; the affected requests
+    still resolve byte-identically and shutdown still leaks nothing."""
+    expected = [_fingerprint(_direct(circuit, seed)) for circuit, seed, _ in LOAD[:3]]
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "kill:trial:1")
+    monkeypatch.setenv("MIRAGE_TASK_TIMEOUT", "1.0")
+
+    async def main():
+        async with _service(executor="processes", window_ms=120.0) as service:
+            pids = service.executor.worker_pids()
+            results = await asyncio.gather(*(
+                service.submit(
+                    circuit, TOPOLOGY, seed=seed, tenant=tenant,
+                    **REQUEST_KNOBS,
+                )
+                for circuit, seed, tenant in LOAD[:3]
+            ))
+            stats = service.stats()
+        return results, stats, pids
+
+    results, stats, pids = _run(main())
+    assert [_fingerprint(result) for result in results] == expected
+    assert stats["failed"] == 0
+    assert stats["executor"]["retries"] >= 1
+    assert stats["executor"]["lost_tasks"] >= 1
+    assert _own_segments() == []
+    _assert_workers_dead(pids)
+
+
+def test_shutdown_refuses_to_race_borrowed_executor_leases():
+    """close() on a leased executor fails loudly instead of killing the
+    pool under an in-flight window (the service always holds a lease
+    while dispatching)."""
+    with ProcessExecutor(max_workers=2) as executor:
+        with executor.lease():
+            with pytest.raises(TranspilerError, match="active lease"):
+                executor.close()
+        # Lease released: the context manager close below succeeds.
+    assert executor.worker_pids() == []

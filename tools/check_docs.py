@@ -72,6 +72,20 @@ PUBLIC_API = [
     ("repro.transpiler.faults", "reap_stale_segments"),
     ("repro.transpiler.faults", "InjectedWorkerCrash"),
     ("repro.transpiler.faults", "CorruptResultError"),
+    ("repro.service.service", "MirageService"),
+    ("repro.service.service", "MirageService.submit"),
+    ("repro.service.service", "MirageService.stats"),
+    ("repro.service.service", "MirageService.aclose"),
+    ("repro.service.service", "ServiceClient"),
+    ("repro.service.service", "service_window_ms"),
+    ("repro.polytopes.registry", "CoverageRegistry"),
+    ("repro.polytopes.registry", "CoverageRegistry.get"),
+    ("repro.polytopes.registry", "RegistryHandle"),
+    ("repro.core.pipeline", "resolve_coverage"),
+    ("repro.transpiler.executors", "TrialExecutor.lease"),
+    ("repro.transpiler.executors", "TrialExecutor.prewarm"),
+    ("repro.exceptions", "InvalidModeError"),
+    ("repro.exceptions", "ServiceError"),
 ]
 
 #: Subset that must keep numpy-style section headers.
@@ -83,6 +97,8 @@ NUMPY_STYLE = {
     "repro.polytopes.coverage.CoverageSet.mirror_cost_of_many",
     "repro.polytopes.coverage.CoverageSet.depth_of_many",
     "repro.weyl.coordinates.weyl_coordinates_many",
+    "repro.service.service.MirageService",
+    "repro.polytopes.registry.CoverageRegistry",
 }
 
 NUMPY_SECTIONS = ("Parameters", "Returns", "Attributes")
