@@ -52,6 +52,7 @@ host the JSON records the ratios without judging them.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import contextlib
 import hashlib
 import json
@@ -434,6 +435,56 @@ def bench_route_kernel(coverage, sizes) -> dict:
     }
 
 
+def bench_service_overload(sizes) -> dict:
+    """Service-tier overload counters on a clean multi-tenant run.
+
+    A small coalesced burst through ``MirageService`` with no fault plan
+    and no quotas: the point is the *absence* of overload events — a
+    clean benchmark run must record ``shed_requests``,
+    ``deadline_expirations`` and ``breaker_trips`` all zero, the same
+    way the dispatch recovery counters must be zero above.  Nonzero
+    values here mean the host (not the workload) was overloaded and the
+    timing numbers are suspect.
+    """
+    from repro.service import MirageService
+
+    width = 4
+    coupling = line_topology(width)
+    tenants = [("alice", ghz(width), 5), ("bob", qft(width), 6),
+               ("alice", qft(width), 7), ("bob", ghz(width), 8)]
+
+    async def run():
+        async with MirageService(
+            executor="threads",
+            max_workers=2,
+            window_ms=10.0,
+            coverage_params=dict(num_samples=700, seed=7),
+        ) as service:
+            results = await asyncio.gather(*[
+                service.submit(circuit, coupling, seed=seed, tenant=tenant,
+                               use_vf2=False,
+                               layout_trials=sizes["layout_trials"])
+                for tenant, circuit, seed in tenants
+            ])
+            return results, service.stats()
+
+    start = time.perf_counter()
+    results, stats = asyncio.run(run())
+    seconds = time.perf_counter() - start
+    assert len(results) == len(tenants)
+    return {
+        "requests": stats["requests"],
+        "windows": stats["windows"],
+        "coalesced_requests": stats["coalesced_requests"],
+        "shed_requests": stats["shed_requests"],
+        "deadline_expirations": stats["deadline_expirations"],
+        "breaker_trips": stats["breaker"]["trips"],
+        "degraded_windows": stats["degraded_windows"],
+        "breaker_state": stats["breaker"]["state"],
+        "runtime_s": round(seconds, 4),
+    }
+
+
 def _assert_zero_copy(dispatch: dict, cores: int, label: str) -> None:
     """Pin the zero-copy invariants of one dispatch's provenance."""
     assert dispatch["shm_segments"] >= 1, (label, dispatch)
@@ -511,6 +562,15 @@ def main() -> None:
           f"worker cores)")
     print(f"  dispatch: {plan['dispatch_executor']}")
 
+    service = bench_service_overload(sizes)
+    print(f"[service]       {service['requests']} requests, "
+          f"{service['windows']} window(s), "
+          f"{service['coalesced_requests']} coalesced: "
+          f"shed {service['shed_requests']}, "
+          f"deadline expirations {service['deadline_expirations']}, "
+          f"breaker trips {service['breaker_trips']} "
+          f"({service['runtime_s']:.2f} s)")
+
     payload = {
         "meta": {
             "python": platform.python_version(),
@@ -523,6 +583,7 @@ def main() -> None:
         "batch_fanout": batch,
         "route_kernel": route,
         "plan_fanout": plan,
+        "service_overload": service,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -539,7 +600,8 @@ def main() -> None:
         ("plan-fanout executor", plan["dispatch_executor"]),
     ):
         for counter in ("retries", "respawns", "lost_tasks",
-                        "executor_downgrades", "transport_downgrades"):
+                        "executor_downgrades", "transport_downgrades",
+                        "deadline_expirations"):
             assert counter in dispatch, (
                 f"{label}: dispatch provenance lacks {counter!r}"
             )
@@ -548,7 +610,15 @@ def main() -> None:
                 f"{dispatch[counter]} — recovered faults during a "
                 f"benchmark invalidate its timings"
             )
-    print("fault-tolerance provenance OK: all recovery counters zero")
+    for counter in ("shed_requests", "deadline_expirations",
+                    "breaker_trips", "degraded_windows"):
+        assert service[counter] == 0, (
+            f"service-overload: clean run reported {counter}="
+            f"{service[counter]} — an overloaded host invalidates "
+            f"benchmark timings"
+        )
+    print("fault-tolerance provenance OK: all recovery and overload "
+          "counters zero")
 
     if args.assert_shm:
         dispatch = batch["dispatch"]

@@ -131,7 +131,12 @@ class BatchResult:
     ----------
     results : list of TranspileResult
         One result per input circuit, in input order — regardless of the
-        fan-out mode or executor that produced them.
+        fan-out mode or executor that produced them.  Under
+        ``transpile_many(..., on_error="return")`` a circuit whose
+        deadline expired holds its
+        :class:`~repro.exceptions.DeadlineExceededError` instance at
+        that position instead; the aggregate helpers below skip such
+        entries.
     runtime_seconds : float
         Wall-clock time of the whole batch.
     executor : str
@@ -198,36 +203,52 @@ class BatchResult:
             (worker time vs. elapsed time).
         """
         seconds: dict[str, float] = {}
-        for result in self.results:
+        for result in self._completed():
             for name, value in result.stage_seconds().items():
                 seconds[name] = seconds.get(name, 0.0) + value
         return seconds
 
+    def _completed(self) -> list[TranspileResult]:
+        """Results that are actual results (skips ``on_error="return"``
+        exception placeholders)."""
+        return [r for r in self.results if isinstance(r, TranspileResult)]
+
     def circuit_seconds(self) -> list[float]:
-        """Per-circuit ``runtime_seconds``, in input order."""
-        return [result.runtime_seconds for result in self.results]
+        """Per-circuit ``runtime_seconds``, in input order.
+
+        Exception placeholders contribute ``0.0`` (no result exists to
+        time) so positions stay aligned with the input batch.
+        """
+        return [
+            result.runtime_seconds if isinstance(result, TranspileResult)
+            else 0.0
+            for result in self.results
+        ]
 
     def trial_seconds(self) -> float:
         """Summed routing-trial worker seconds across the batch."""
-        return sum(result.trial_seconds or 0.0 for result in self.results)
+        return sum(
+            result.trial_seconds or 0.0 for result in self._completed()
+        )
 
     def summary(self) -> dict[str, float | int | str]:
         """Flat summary row of the whole batch."""
+        completed = self._completed()
         return {
             "circuits": len(self.results),
             "executor": self.executor,
             "fanout": self.fanout,
-            "total_swaps": sum(r.swaps_added for r in self.results),
-            "total_mirrors": sum(r.mirrors_accepted for r in self.results),
+            "total_swaps": sum(r.swaps_added for r in completed),
+            "total_mirrors": sum(r.mirrors_accepted for r in completed),
             "mean_depth": round(
-                sum(r.metrics.depth for r in self.results) / len(self.results),
+                sum(r.metrics.depth for r in completed) / len(completed),
                 3,
             )
-            if self.results
+            if completed
             else 0.0,
             "runtime_s": round(self.runtime_seconds, 3),
         }
 
     def summaries(self) -> list[dict[str, float | int | str]]:
-        """Per-circuit summary rows."""
-        return [result.summary() for result in self.results]
+        """Per-circuit summary rows (exception placeholders skipped)."""
+        return [result.summary() for result in self._completed()]

@@ -34,7 +34,11 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.exceptions import InvalidModeError, TranspilerError
+from repro.exceptions import (
+    DeadlineExceededError,
+    InvalidModeError,
+    TranspilerError,
+)
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.pipeline import (
     PlanSpec,
@@ -327,6 +331,8 @@ def _run_circuit_fanout(
     trial_executor: TrialExecutor,
     scheduler: str = "stream",
     plan: str = "auto",
+    circuit_deadlines: Sequence[float | None] | None = None,
+    on_error: str = "raise",
 ) -> tuple[list[TranspileResult], dict]:
     """Two-level circuit fan-out under the requested scheduler.
 
@@ -386,16 +392,21 @@ def _run_circuit_fanout(
                     return _stream_executor_plan_fanout(
                         batch, plan_spec, circuit_seeds, trial_executor,
                         session, stats_before,
+                        circuit_deadlines=circuit_deadlines,
+                        on_error=on_error,
                     )
                 return _stream_circuit_fanout(
                     batch, plan_front, circuit_seeds, trial_executor, session,
                     stats_before,
+                    circuit_deadlines=circuit_deadlines,
+                    on_error=on_error,
                 )
             except BaseException:
                 session.close()
                 raise
     return _barrier_circuit_fanout(
-        batch, plan_front, circuit_seeds, trial_executor, stats_before
+        batch, plan_front, circuit_seeds, trial_executor, stats_before,
+        circuit_deadlines=circuit_deadlines, on_error=on_error,
     )
 
 
@@ -405,6 +416,8 @@ def _barrier_circuit_fanout(
     circuit_seeds: Sequence[np.random.SeedSequence],
     trial_executor: TrialExecutor,
     stats_before: dict[str, int],
+    circuit_deadlines: Sequence[float | None] | None = None,
+    on_error: str = "raise",
 ) -> tuple[list[TranspileResult], dict]:
     """Plan every circuit, pool all trials into one dispatch, finish.
 
@@ -413,12 +426,33 @@ def _barrier_circuit_fanout(
     coverage set and all circuit DAGs ship to workers once (per chunk in
     blob mode, once per batch through a shared-memory segment) — and
     phase C resumes each circuit's pipeline to select its winner.
+
+    Deadlines are enforced at the plan boundary only (the pooled
+    dispatch has no per-circuit chunks to cancel): a circuit already
+    expired when phase A reaches it is never planned or pooled, and
+    settles as :class:`DeadlineExceededError` per ``on_error``.
     """
-    states: list[PipelineState] = []
+    states: list[PipelineState | None] = []
+    errors: list[DeadlineExceededError | None] = []
     front_seconds: list[float] = []
     for index, (circuit, circuit_seed) in enumerate(zip(batch, circuit_seeds)):
+        deadline = (
+            circuit_deadlines[index] if circuit_deadlines is not None else None
+        )
+        if deadline is not None and time.monotonic() >= deadline:
+            error = DeadlineExceededError(
+                "request deadline expired before its circuit was planned"
+            )
+            if on_error == "raise":
+                raise error
+            trial_executor._count_dispatch(deadline_expirations=1)
+            states.append(None)
+            errors.append(error)
+            front_seconds.append(0.0)
+            continue
         outcome = plan_front(index, circuit, circuit_seed)
         states.append(outcome.state)
+        errors.append(None)
         front_seconds.append(outcome.seconds)
 
     # Pool the trials of every still-unrouted circuit.  Specs are indexed
@@ -428,7 +462,9 @@ def _barrier_circuit_fanout(
     pooled_refs: list[BatchTrialRef] = []
     refs_per_state: list[int] = []
     for state in states:
-        trial_plan = state.properties.get("trial_plan")
+        trial_plan = (
+            state.properties.get("trial_plan") if state is not None else None
+        )
         if trial_plan is None:
             refs_per_state.append(0)
             continue
@@ -446,9 +482,14 @@ def _barrier_circuit_fanout(
         else []
     )
 
-    results: list[TranspileResult] = []
+    results: list[TranspileResult | DeadlineExceededError] = []
     cursor = 0
-    for state, spent, count in zip(states, front_seconds, refs_per_state):
+    for state, error, spent, count in zip(
+        states, errors, front_seconds, refs_per_state
+    ):
+        if state is None:
+            results.append(error)
+            continue
         if count:
             state.properties["trial_outcomes"] = outcomes[cursor:cursor + count]
             cursor += count
@@ -484,17 +525,33 @@ class _StreamDrain:
     planned circuits here and resume the *oldest* one as soon as its
     trial futures drain — keeping the slot-release, outcome-reassembly
     and overlap accounting in one place so the engines cannot diverge.
+
+    ``deadlines`` (absolute ``time.monotonic()`` instants, one per batch
+    position or ``None``) ride each circuit's trial chunks into the
+    dispatch session; an expired circuit's chunks settle with
+    :class:`DeadlineExceededError` without disturbing siblings, and the
+    error is either raised or recorded at the circuit's result position
+    depending on ``on_error``.
     """
 
-    def __init__(self, session) -> None:
+    def __init__(self, session, deadlines=None, on_error="raise") -> None:
         self.session = session
-        self.results: list[TranspileResult] = []
+        self.deadlines = deadlines
+        self.on_error = on_error
+        self.results: list[TranspileResult | DeadlineExceededError] = []
         self.overlap = 0.0
         self.plan_seconds = 0.0
         self.routed = 0
         self.pending: collections.deque[_StreamEntry] = collections.deque()
 
-    def park(self, state: PipelineState, front_seconds: float) -> None:
+    def _deadline_for(self, index: int) -> float | None:
+        if self.deadlines is None:
+            return None
+        return self.deadlines[index]
+
+    def park(
+        self, index: int, state: PipelineState, front_seconds: float
+    ) -> None:
         """Dispatch a planned circuit's trials and queue it for resume."""
         self.plan_seconds += front_seconds
         trial_plan = state.properties.get("trial_plan")
@@ -502,7 +559,9 @@ class _StreamDrain:
         slot = -1
         if trial_plan is not None:
             slot = self.session.add_payload(trial_plan.spec)
-            futures = self.session.submit(slot, trial_plan.refs)
+            futures = self.session.submit(
+                slot, trial_plan.refs, deadline=self._deadline_for(index)
+            )
             self.routed += 1
         self.pending.append(_StreamEntry(state, front_seconds, futures, slot))
 
@@ -510,13 +569,24 @@ class _StreamDrain:
         """Resume the oldest parked circuit (blocks on its futures)."""
         entry = self.pending.popleft()
         if entry.futures:
-            # May block until this circuit's chunks complete — idle wait,
-            # deliberately excluded from the overlap metric below.
-            entry.state.properties["trial_outcomes"] = [
-                outcome
-                for future in entry.futures
-                for outcome in future.result()
-            ]
+            try:
+                # May block until this circuit's chunks complete — idle
+                # wait, deliberately excluded from the overlap metric.
+                entry.state.properties["trial_outcomes"] = [
+                    outcome
+                    for future in entry.futures
+                    for outcome in future.result()
+                ]
+            except DeadlineExceededError as error:
+                # Only this circuit expired; its remaining chunks settle
+                # on their own (same deadline) — wait them out, release
+                # the slot, and contain the failure to this position.
+                concurrent.futures.wait(entry.futures)
+                self.session.release(entry.slot)
+                if self.on_error == "raise":
+                    raise
+                self.results.append(error)
+                return
             self.session.release(entry.slot)
         start = time.perf_counter()
         self.results.append(
@@ -557,6 +627,8 @@ def _stream_circuit_fanout(
     trial_executor: TrialExecutor,
     session,
     stats_before: dict[str, int],
+    circuit_deadlines: Sequence[float | None] | None = None,
+    on_error: str = "raise",
 ) -> tuple[list[TranspileResult], dict]:
     """Streaming overlap scheduler with local (producer-thread) planning.
 
@@ -574,7 +646,7 @@ def _stream_circuit_fanout(
     flight — the wall-clock the barrier scheduler would have serialised.
     """
     window = _stream_window(trial_executor)
-    drain = _StreamDrain(session)
+    drain = _StreamDrain(session, circuit_deadlines, on_error)
     try:
         for index, (circuit, circuit_seed) in enumerate(
             zip(batch, circuit_seeds)
@@ -582,7 +654,7 @@ def _stream_circuit_fanout(
             outcome = plan_front(index, circuit, circuit_seed)
             if session.outstanding():
                 drain.overlap += outcome.seconds
-            drain.park(outcome.state, outcome.seconds)
+            drain.park(index, outcome.state, outcome.seconds)
             # Finish any leading circuits whose trials already drained
             # (non-blocking), then enforce the bounded window (blocking
             # on the oldest circuit only when the producer ran ahead).
@@ -605,6 +677,8 @@ def _stream_executor_plan_fanout(
     trial_executor: TrialExecutor,
     session,
     stats_before: dict[str, int],
+    circuit_deadlines: Sequence[float | None] | None = None,
+    on_error: str = "raise",
 ) -> tuple[list[TranspileResult], dict]:
     """Streaming scheduler with planning distributed onto the executor.
 
@@ -627,7 +701,7 @@ def _stream_executor_plan_fanout(
     executor and scheduler.
     """
     window = _stream_window(trial_executor)
-    drain = _StreamDrain(session)
+    drain = _StreamDrain(session, circuit_deadlines, on_error)
     next_index = 0
     admitted = 0
     plan_pending: collections.deque[concurrent.futures.Future] = (
@@ -645,7 +719,7 @@ def _stream_executor_plan_fanout(
                 f"(expected {admitted})"
             )
         admitted += 1
-        drain.park(outcome.state, outcome.seconds)
+        drain.park(outcome.index, outcome.state, outcome.seconds)
         if session.outstanding():
             drain.overlap += time.perf_counter() - start
 
@@ -728,6 +802,8 @@ def transpile_many(
     fanout: str = "auto",
     scheduler: str = "auto",
     plan: str = "auto",
+    circuit_deadlines: Sequence[float | None] | None = None,
+    on_error: str = "raise",
 ) -> BatchResult:
     """Transpile a batch of circuits sharing one coverage set and executor.
 
@@ -808,6 +884,25 @@ def transpile_many(
     plan : {"auto", "local", "executor"}
         Planning placement under the streaming scheduler, see above
         (ignored under ``fanout="trials"`` and by the barrier engine).
+    circuit_deadlines : sequence of float or None, optional
+        Per-circuit absolute deadlines as ``time.monotonic()`` instants
+        (``None`` entries mean unbounded).  Must match the batch length.
+        Under the streaming scheduler each circuit's deadline rides its
+        own trial chunks: an expired circuit settles with
+        :class:`~repro.exceptions.DeadlineExceededError` while sibling
+        circuits in the same dispatch complete normally, byte-identical
+        to an undeadlined run.  The barrier scheduler and
+        ``fanout="trials"`` enforce deadlines at circuit boundaries
+        only.  Expired chunks count under the executor's
+        ``deadline_expirations`` dispatch counter.
+    on_error : {"raise", "return"}
+        What to do when a circuit's deadline expires: ``"raise"``
+        (default) propagates the first
+        :class:`~repro.exceptions.DeadlineExceededError`; ``"return"``
+        places the exception object at the circuit's position in
+        ``results`` so one late request cannot fail its batch — the
+        contract the service tier relies on.  Non-deadline errors
+        always raise.
     **others
         Exactly as :func:`transpile`.
 
@@ -861,6 +956,19 @@ def transpile_many(
             f"circuit_seeds has {len(circuit_seeds)} entries for "
             f"{len(batch)} circuits"
         )
+    if on_error not in ("raise", "return"):
+        raise InvalidModeError(
+            f"unknown on_error mode {on_error!r} — accepted values: "
+            f"'raise', 'return'"
+        )
+    if (
+        circuit_deadlines is not None
+        and len(circuit_deadlines) != len(batch)
+    ):
+        raise TranspilerError(
+            f"circuit_deadlines has {len(circuit_deadlines)} entries for "
+            f"{len(batch)} circuits"
+        )
     dispatch: dict | None = None
     with executor_scope(executor, max_workers) as trial_executor:
         shared_coverage = resolve_coverage(coverage, basis)
@@ -889,32 +997,57 @@ def transpile_many(
                 trial_executor=trial_executor,
                 scheduler=scheduler_mode,
                 plan=plan_mode,
+                circuit_deadlines=circuit_deadlines,
+                on_error=on_error,
             )
         else:
             stats_before = dict(trial_executor.dispatch_stats)
-            results = [
-                transpile(
-                    circuit,
-                    coupling,
-                    basis=basis,
-                    method=method,
-                    selection=selection,
-                    aggression=aggression,
-                    layout_trials=layout_trials,
-                    refinement_rounds=refinement_rounds,
-                    routing_trials=routing_trials,
-                    coverage=shared_coverage,
-                    use_vf2=use_vf2,
-                    seed=circuit_seed,
-                    executor=trial_executor,
+            results = []
+            for index, (circuit, circuit_seed) in enumerate(
+                zip(batch, circuit_seeds)
+            ):
+                deadline = (
+                    circuit_deadlines[index]
+                    if circuit_deadlines is not None
+                    else None
                 )
-                for circuit, circuit_seed in zip(batch, circuit_seeds)
-            ]
+                if deadline is not None and time.monotonic() >= deadline:
+                    error = DeadlineExceededError(
+                        "request deadline expired before its circuit "
+                        "was transpiled"
+                    )
+                    if on_error == "raise":
+                        raise error
+                    trial_executor._count_dispatch(deadline_expirations=1)
+                    results.append(error)
+                    continue
+                results.append(
+                    transpile(
+                        circuit,
+                        coupling,
+                        basis=basis,
+                        method=method,
+                        selection=selection,
+                        aggression=aggression,
+                        layout_trials=layout_trials,
+                        refinement_rounds=refinement_rounds,
+                        routing_trials=routing_trials,
+                        coverage=shared_coverage,
+                        use_vf2=use_vf2,
+                        seed=circuit_seed,
+                        executor=trial_executor,
+                    )
+                )
             dispatch = _dispatch_provenance(
                 trial_executor,
                 stats_before,
                 circuits=len(batch),
-                routed=sum(1 for result in results if result.trial_index >= 0),
+                routed=sum(
+                    1
+                    for result in results
+                    if isinstance(result, TranspileResult)
+                    and result.trial_index >= 0
+                ),
             )
         executor_name = trial_executor.name
     return BatchResult(

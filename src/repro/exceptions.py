@@ -49,6 +49,50 @@ class ServiceError(ReproError):
     """
 
 
+class ServiceOverloadError(ServiceError):
+    """Raised when admission control sheds a request instead of queueing it.
+
+    Carries a ``retry_after_ms`` hint — the caller should back off at
+    least that long before resubmitting.  Shedding happens when a
+    tenant exceeds its quota (``MIRAGE_SERVICE_TENANT_QUOTA``), when
+    the service-wide pending queue is full
+    (``MIRAGE_SERVICE_MAX_PENDING``), or when a deterministic
+    ``shed:request:<ordinal>`` fault-plan entry targets the submission.
+    Shedding is *pre-admission*: no window slot, seed or executor work
+    is consumed by a shed request.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: float = 0.0):
+        super().__init__(message)
+        #: Suggested client back-off before resubmitting, in milliseconds.
+        self.retry_after_ms = float(retry_after_ms)
+
+
+class ServiceClosedError(ServiceError):
+    """Raised by ``submit()`` once a drain has begun or completed.
+
+    Typed (rather than a bare :class:`ServiceError`) so load balancers
+    can distinguish "this instance is going away — resubmit elsewhere
+    *now*" from transient overload (:class:`ServiceOverloadError`,
+    which carries a retry-after hint for the *same* instance).
+    """
+
+
+class DeadlineExceededError(TranspilerError):
+    """Raised when a request's deadline expires before its result is ready.
+
+    Deadlines flow from ``MirageService.submit(..., deadline_ms=)``
+    through the batch engine (``transpile_many(circuit_deadlines=...)``)
+    down to per-chunk dispatch records, so expiry cancels only the
+    expired request's own in-flight trials: sibling requests coalesced
+    into the same window complete normally and stay byte-identical to
+    their direct ``transpile()`` outputs.  Derives from
+    :class:`TranspilerError` because the engine raises it too — but it
+    is deliberately *not* a :class:`TransportError`, so the replay
+    ladder never retries an expired chunk.
+    """
+
+
 class TransportError(TranspilerError):
     """Raised when a dispatch transport resource is lost or corrupted.
 

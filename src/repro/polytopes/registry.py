@@ -25,7 +25,18 @@ builds).
   persistent ``$MIRAGE_CACHE_DIR`` disk cache (PR 2) acts as the L2
   below this in-memory L1.
 * **Provenance** — :meth:`CoverageRegistry.stats` reports hits, misses,
-  builds, waiters and errors, suitable for service dashboards.
+  builds, waiters, errors and eviction counters, suitable for service
+  dashboards.
+* **Bounded residency** — a long-running multi-basis service would
+  otherwise accrete one coverage set per configuration forever.  The
+  registry is an LRU: ``max_entries`` / ``max_bytes`` (a best-effort
+  pickled-size memory watermark) cap residency, and ``ttl_seconds``
+  expires entries that have outlived their build.  All three default to
+  the ``MIRAGE_REGISTRY_MAX_ENTRIES`` / ``MIRAGE_REGISTRY_MAX_BYTES`` /
+  ``MIRAGE_REGISTRY_TTL_S`` environment knobs (read per call, unlimited
+  when unset).  Eviction only forgets the *shared* reference — callers
+  already holding a set keep it; the next request for the key rebuilds
+  through the L2 disk cache.
 
 The module-level :data:`DEFAULT_REGISTRY` backs
 :func:`repro.polytopes.coverage.get_coverage_set`, preserving the
@@ -35,11 +46,27 @@ one-shared-set-per-process behaviour every existing caller relies on.
 from __future__ import annotations
 
 import dataclasses
+import os
+import pickle
 import threading
+import time
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.polytopes.coverage import CoverageSet
+
+
+def _env_limit(name: str, cast=int) -> int | float | None:
+    """Parse an optional numeric environment limit (``None`` = unlimited)."""
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return None
+    try:
+        parsed = cast(value)
+    except ValueError:
+        return None
+    return parsed if parsed > 0 else None
 
 
 @dataclasses.dataclass
@@ -49,6 +76,31 @@ class _InFlightBuild:
     event: threading.Event = dataclasses.field(default_factory=threading.Event)
     result: "CoverageSet | None" = None
     error: BaseException | None = None
+
+
+@dataclasses.dataclass
+class _RegistryEntry:
+    """One resident coverage set plus its eviction bookkeeping."""
+
+    coverage: "CoverageSet"
+    size_bytes: int
+    created: float
+
+
+def _estimate_size(coverage: "CoverageSet") -> int:
+    """Best-effort resident size of one coverage set, in bytes.
+
+    Uses the pickled size — the same representation the dispatch
+    transport ships, and cheap relative to a polytope build.  The
+    memoised cost table is deliberately excluded (``__getstate__``
+    drops it), so the watermark tracks the irreducible geometry, not a
+    cache that can be rebuilt.  Unpicklable exotics count as zero
+    rather than failing registration.
+    """
+    try:
+        return len(pickle.dumps(coverage, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - exotic custom loaders
+        return 0
 
 
 class CoverageRegistry:
@@ -63,20 +115,90 @@ class CoverageRegistry:
         :func:`~repro.polytopes.coverage.load_or_build_coverage_set`
         (the persistent disk cache).  The loader runs *outside* the
         registry lock, so a slow build never blocks hits on other keys.
+    max_entries : int, optional
+        LRU residency cap; ``None`` (default) falls back to
+        ``MIRAGE_REGISTRY_MAX_ENTRIES`` (unlimited when unset).
+    max_bytes : int, optional
+        Memory watermark over the summed best-effort (pickled) entry
+        sizes; least-recently-used entries are evicted until the total
+        fits.  ``None`` falls back to ``MIRAGE_REGISTRY_MAX_BYTES``.
+    ttl_seconds : float, optional
+        Entries older than this (since build/registration) are dropped
+        on their next lookup and rebuilt fresh.  ``None`` falls back to
+        ``MIRAGE_REGISTRY_TTL_S``.
     """
 
     def __init__(
-        self, loader: "Callable[..., CoverageSet] | None" = None
+        self,
+        loader: "Callable[..., CoverageSet] | None" = None,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        ttl_seconds: float | None = None,
     ) -> None:
         self._loader = loader
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._ttl_seconds = ttl_seconds
         self._lock = threading.Lock()
-        self._entries: dict[tuple, "CoverageSet"] = {}
+        self._entries: OrderedDict[tuple, _RegistryEntry] = OrderedDict()
         self._inflight: dict[tuple, _InFlightBuild] = {}
         self._hits = 0
         self._misses = 0
         self._builds = 0
         self._waits = 0
         self._errors = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    # -- residency limits --------------------------------------------------
+
+    def _limit_entries(self) -> int | None:
+        if self._max_entries is not None:
+            return self._max_entries
+        return _env_limit("MIRAGE_REGISTRY_MAX_ENTRIES", int)
+
+    def _limit_bytes(self) -> int | None:
+        if self._max_bytes is not None:
+            return self._max_bytes
+        return _env_limit("MIRAGE_REGISTRY_MAX_BYTES", int)
+
+    def _limit_ttl(self) -> float | None:
+        if self._ttl_seconds is not None:
+            return self._ttl_seconds
+        return _env_limit("MIRAGE_REGISTRY_TTL_S", float)
+
+    def _expired_locked(self, entry: _RegistryEntry) -> bool:
+        ttl = self._limit_ttl()
+        return ttl is not None and time.monotonic() - entry.created > ttl
+
+    def _evict_locked(self, protect: tuple | None = None) -> None:
+        """Evict LRU entries until the residency limits hold.
+
+        The entry named by ``protect`` (the one just inserted or hit) is
+        never evicted — a single set larger than ``max_bytes`` stays
+        resident alone rather than thrashing rebuild-evict-rebuild.
+        """
+        max_entries = self._limit_entries()
+        max_bytes = self._limit_bytes()
+        if max_entries is None and max_bytes is None:
+            return
+        while self._entries:
+            over_count = (
+                max_entries is not None and len(self._entries) > max_entries
+            )
+            over_bytes = max_bytes is not None and (
+                sum(e.size_bytes for e in self._entries.values()) > max_bytes
+            )
+            if not (over_count or over_bytes):
+                return
+            victim = next(iter(self._entries))
+            if victim == protect:
+                if len(self._entries) == 1:
+                    return
+                victim = next(iter(list(self._entries)[1:]))
+            del self._entries[victim]
+            self._evictions += 1
 
     @staticmethod
     def key(
@@ -154,8 +276,13 @@ class CoverageRegistry:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                self._hits += 1
-                return entry
+                if self._expired_locked(entry):
+                    del self._entries[key]
+                    self._expirations += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return entry.coverage
             build = self._inflight.get(key)
             if build is None:
                 build = _InFlightBuild()
@@ -187,10 +314,15 @@ class CoverageRegistry:
             build.event.set()
             raise
         build.result = coverage
+        size = _estimate_size(coverage)
         with self._lock:
-            self._entries[key] = coverage
+            self._entries[key] = _RegistryEntry(
+                coverage, size, time.monotonic()
+            )
+            self._entries.move_to_end(key)
             self._inflight.pop(key, None)
             self._builds += 1
+            self._evict_locked(protect=key)
         build.event.set()
         return coverage
 
@@ -214,8 +346,13 @@ class CoverageRegistry:
             seed=seed,
             max_depth=max_depth,
         )
+        size = _estimate_size(coverage)
         with self._lock:
-            self._entries[key] = coverage
+            self._entries[key] = _RegistryEntry(
+                coverage, size, time.monotonic()
+            )
+            self._entries.move_to_end(key)
+            self._evict_locked(protect=key)
 
     def bind(
         self,
@@ -243,7 +380,9 @@ class CoverageRegistry:
         )
 
     def stats(self) -> dict[str, int]:
-        """Counters for dashboards: hits/misses/builds/waits/errors/size."""
+        """Counters for dashboards: hits/misses/builds/waits/errors,
+        eviction provenance (``evictions``/``expirations``) and current
+        residency (``size`` entries, ``bytes`` best-effort)."""
         with self._lock:
             return {
                 "hits": self._hits,
@@ -251,7 +390,12 @@ class CoverageRegistry:
                 "builds": self._builds,
                 "waits": self._waits,
                 "errors": self._errors,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
                 "size": len(self._entries),
+                "bytes": sum(
+                    entry.size_bytes for entry in self._entries.values()
+                ),
             }
 
     def clear(self) -> None:
@@ -263,6 +407,8 @@ class CoverageRegistry:
             self._builds = 0
             self._waits = 0
             self._errors = 0
+            self._evictions = 0
+            self._expirations = 0
 
     def __len__(self) -> int:
         with self._lock:

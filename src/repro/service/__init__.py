@@ -1,7 +1,17 @@
 """Transpilation-as-a-service tier: asyncio front-end over the batch engine."""
 
 from repro.service.service import (
+    BREAKER_COOLDOWN_ENV,
+    BREAKER_THRESHOLD_ENV,
+    BREAKER_WINDOW_ENV,
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
+    DEFAULT_BREAKER_WINDOW_S,
+    DEFAULT_DRAIN_S,
     DEFAULT_WINDOW_MS,
+    DRAIN_ENV,
+    MAX_PENDING_ENV,
+    TENANT_QUOTA_ENV,
     WINDOW_ENV,
     MirageService,
     ServiceClient,
@@ -9,7 +19,17 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "BREAKER_COOLDOWN_ENV",
+    "BREAKER_THRESHOLD_ENV",
+    "BREAKER_WINDOW_ENV",
+    "DEFAULT_BREAKER_COOLDOWN_S",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_BREAKER_WINDOW_S",
+    "DEFAULT_DRAIN_S",
     "DEFAULT_WINDOW_MS",
+    "DRAIN_ENV",
+    "MAX_PENDING_ENV",
+    "TENANT_QUOTA_ENV",
     "WINDOW_ENV",
     "MirageService",
     "ServiceClient",

@@ -154,7 +154,11 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
-from repro.exceptions import TranspilerError, TransportError
+from repro.exceptions import (
+    DeadlineExceededError,
+    TranspilerError,
+    TransportError,
+)
 from repro.transpiler.faults import (
     ChunkFaults,
     CorruptResult,
@@ -955,19 +959,41 @@ def _load_shared(handle: PayloadHandle) -> object:
     return _load_payload(handle)
 
 
+def _check_deadline(deadline: float | None) -> None:
+    """Raise :class:`DeadlineExceededError` once ``deadline`` has passed.
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant.
+    ``CLOCK_MONOTONIC`` is system-wide on the platforms the process
+    transport supports, so a deadline stamped by the dispatcher is
+    meaningful inside a worker process too — the worker abandons the
+    rest of its chunk at the next task boundary instead of computing
+    results nobody will collect.
+    """
+    if deadline is not None and time.monotonic() >= deadline:
+        raise DeadlineExceededError(
+            "request deadline expired before its trials completed"
+        )
+
+
 def _run_tasks(
     fn: Callable[[object, object], object],
     shared: object,
     tasks: Sequence[object],
     faults: "ChunkFaults | None",
+    deadline: float | None = None,
 ) -> list[object]:
     """Evaluate a chunk's tasks, firing any injected faults positionally."""
-    if faults is None:
+    if faults is None and deadline is None:
         return [fn(shared, task) for task in tasks]
     results: list[object] = []
     for offset, task in enumerate(tasks):
-        faults.before_task(offset)
-        results.append(faults.after_task(offset, fn(shared, task)))
+        _check_deadline(deadline)
+        if faults is not None:
+            faults.before_task(offset)
+        result = fn(shared, task)
+        if faults is not None:
+            result = faults.after_task(offset, result)
+        results.append(result)
     return results
 
 
@@ -1001,6 +1027,7 @@ def _run_session_chunk(
     tasks: Sequence[object],
     encode: bool = False,
     faults: "ChunkFaults | None" = None,
+    deadline: float | None = None,
 ) -> tuple[list[object], int]:
     """Evaluate one streamed chunk against its anchored payload.
 
@@ -1015,11 +1042,12 @@ def _run_session_chunk(
     before = _worker_bytes_copied
     if faults is not None:
         faults.check_transport()
+    _check_deadline(deadline)
     anchors: Sequence[object] = ()
     if anchor_handle is not None:
         anchors = _load_payload(anchor_handle)
     shared = _load_payload(payload_handle, anchor_handle)
-    results = _run_tasks(fn, shared, tasks, faults)
+    results = _run_tasks(fn, shared, tasks, faults, deadline)
     if encode:
         results = [
             result
@@ -1035,11 +1063,12 @@ def _run_local_chunk(
     shared: object,
     tasks: Sequence[object],
     faults: "ChunkFaults | None" = None,
+    deadline: float | None = None,
 ) -> list[object]:
     """In-process chunk evaluation for serial/thread dispatch sessions."""
     if faults is not None:
         faults.check_transport()
-    return _run_tasks(fn, shared, tasks, faults)
+    return _run_tasks(fn, shared, tasks, faults, deadline)
 
 
 def _chunk(tasks: Sequence[_Task], size: int) -> Iterator[Sequence[_Task]]:
@@ -1147,8 +1176,17 @@ class DispatchSession:
         fn: Callable[[Any, Any], Any] | None = None,
         encode: bool = False,
         kind: str = "trial",
+        deadline: float | None = None,
     ) -> list[concurrent.futures.Future]:
-        """Dispatch ``tasks`` against payload ``slot`` as chunked futures."""
+        """Dispatch ``tasks`` against payload ``slot`` as chunked futures.
+
+        ``deadline`` is an optional absolute ``time.monotonic()`` instant:
+        chunks past it settle with
+        :class:`~repro.exceptions.DeadlineExceededError` instead of
+        running (or finishing) their tasks, without disturbing sibling
+        chunks or the pool.  Expiry is counted under the executor's
+        ``deadline_expirations`` dispatch counter and is never retried.
+        """
         raise NotImplementedError
 
     def decode(self, result: object) -> object:
@@ -1214,6 +1252,7 @@ def _run_local_chunk_recovering(
     shared: object,
     tasks: Sequence[object],
     faults: "ChunkFaults | None",
+    deadline: float | None = None,
 ) -> list[object]:
     """In-process chunk evaluation with the session retry contract.
 
@@ -1222,14 +1261,20 @@ def _run_local_chunk_recovering(
     follow the same recover-and-replay path as the process transport so
     every executor honours the fault plan.  Retries are immediate (no
     backoff: nothing to wait out in-process) and are disarmed replays,
-    counted under the same ``retries``/``lost_tasks`` keys.
+    counted under the same ``retries``/``lost_tasks`` keys.  An expired
+    ``deadline`` is *not* retryable: it surfaces as
+    :class:`DeadlineExceededError` and counts one
+    ``deadline_expirations``.
     """
     attempts = 0
     while True:
         try:
             return _guard_chunk_results(
-                _run_local_chunk(fn, shared, tasks, faults)
+                _run_local_chunk(fn, shared, tasks, faults, deadline)
             )
+        except DeadlineExceededError:
+            executor._count_dispatch(deadline_expirations=1)
+            raise
         except _RETRYABLE_ERRORS:
             if attempts >= task_retries():
                 raise
@@ -1249,6 +1294,7 @@ class _InlineDispatchSession(_LocalDispatchSession):
         fn: Callable[[Any, Any], Any] | None = None,
         encode: bool = False,
         kind: str = "trial",
+        deadline: float | None = None,
     ) -> list[concurrent.futures.Future]:
         future: concurrent.futures.Future = concurrent.futures.Future()
         faults = self._next_chunk_faults(kind, len(tasks))
@@ -1256,7 +1302,7 @@ class _InlineDispatchSession(_LocalDispatchSession):
             future.set_result(
                 _run_local_chunk_recovering(
                     self._executor, fn or self.fn, self._payloads[slot],
-                    tasks, faults,
+                    tasks, faults, deadline,
                 )
             )
         except BaseException as error:  # noqa: BLE001 - mirror pool futures
@@ -1278,6 +1324,7 @@ class _ThreadDispatchSession(_LocalDispatchSession):
         fn: Callable[[Any, Any], Any] | None = None,
         encode: bool = False,
         kind: str = "trial",
+        deadline: float | None = None,
     ) -> list[concurrent.futures.Future]:
         pool = self._executor._ensure_pool()
         batch = list(tasks)
@@ -1291,6 +1338,7 @@ class _ThreadDispatchSession(_LocalDispatchSession):
                 self._payloads[slot],
                 chunk,
                 self._next_chunk_faults(kind, len(chunk)),
+                deadline,
             )
             for chunk in _chunk(batch, size)
         ]
@@ -1311,7 +1359,7 @@ class _ChunkRecord:
 
     __slots__ = (
         "slot", "fn", "tasks", "encode", "kind", "faults", "attempts",
-        "wrapped", "raw", "generation", "submitted",
+        "wrapped", "raw", "generation", "submitted", "deadline",
     )
 
     def __init__(
@@ -1322,6 +1370,7 @@ class _ChunkRecord:
         encode: bool,
         kind: str,
         faults: "ChunkFaults | None",
+        deadline: float | None = None,
     ) -> None:
         self.slot = slot
         self.fn = fn
@@ -1329,6 +1378,7 @@ class _ChunkRecord:
         self.encode = encode
         self.kind = kind
         self.faults = faults
+        self.deadline = deadline
         self.attempts = 0
         self.wrapped: concurrent.futures.Future = concurrent.futures.Future()
         self.raw: concurrent.futures.Future | None = None
@@ -1379,6 +1429,9 @@ class _ShmDispatchSession(DispatchSession):
         self._retry_lock = threading.Lock()
         self._inflight: dict[int, _ChunkRecord] = {}
         self._watchdog: threading.Thread | None = None
+        # True once any chunk carried a deadline — keeps the watchdog
+        # running even when no MIRAGE_TASK_TIMEOUT is configured.
+        self._deadline_active = False
         if self._anchors:
             self._anchor_handle = self._record(self._anchors, ())
             executor._count_dispatch(shared_pickles=1)
@@ -1423,6 +1476,18 @@ class _ShmDispatchSession(DispatchSession):
     def _launch(self, record: _ChunkRecord) -> None:
         """(Re-)dispatch one chunk on the executor's current pool."""
         executor = self._executor
+        if (
+            record.deadline is not None
+            and time.monotonic() >= record.deadline
+        ):
+            executor._count_dispatch(deadline_expirations=1)
+            self._settle_error(
+                record,
+                DeadlineExceededError(
+                    "request deadline expired before its chunk was dispatched"
+                ),
+            )
+            return
         record.generation = executor._pool_generation
         record.submitted = time.monotonic()
         try:
@@ -1440,6 +1505,7 @@ class _ShmDispatchSession(DispatchSession):
                 record.tasks,
                 record.encode,
                 record.faults,
+                record.deadline,
             )
         except concurrent.futures.BrokenExecutor as error:
             self._handle_failure(record, error)
@@ -1455,6 +1521,12 @@ class _ShmDispatchSession(DispatchSession):
         self, record: _ChunkRecord, done: concurrent.futures.Future
     ) -> None:
         """Settle, or route into recovery, one completed pool future."""
+        if record.wrapped.done():
+            # The watchdog already settled this record (deadline expiry
+            # while the worker was still running) — drop the late result.
+            with self._retry_lock:
+                self._inflight.pop(id(record), None)
+            return
         try:
             error: BaseException | None = done.exception()
         except concurrent.futures.CancelledError as cancelled:
@@ -1477,17 +1549,29 @@ class _ShmDispatchSession(DispatchSession):
     def _settle(self, record: _ChunkRecord, results: list) -> None:
         with self._retry_lock:
             self._inflight.pop(id(record), None)
-        record.wrapped.set_result(results)
+        if not record.wrapped.done():
+            record.wrapped.set_result(results)
 
     def _settle_error(self, record: _ChunkRecord, error: BaseException) -> None:
         with self._retry_lock:
             self._inflight.pop(id(record), None)
-        record.wrapped.set_exception(error)
+        if not record.wrapped.done():
+            record.wrapped.set_exception(error)
 
     def _handle_failure(
         self, record: _ChunkRecord, error: BaseException
     ) -> None:
         """Recover a failed chunk: respawn, downgrade, back off, replay."""
+        if record.wrapped.done():
+            with self._retry_lock:
+                self._inflight.pop(id(record), None)
+            return
+        if isinstance(error, DeadlineExceededError):
+            # A worker abandoned the chunk at its deadline — terminal
+            # for this chunk only, never replayed, pool left alone.
+            self._executor._count_dispatch(deadline_expirations=1)
+            self._settle_error(record, error)
+            return
         if not _is_retryable(error):
             self._settle_error(record, error)
             return
@@ -1575,13 +1659,18 @@ class _ShmDispatchSession(DispatchSession):
                     "payload slot released with chunks still in flight"
                 )
             results = _guard_chunk_results(
-                _run_local_chunk(record.fn, payload, record.tasks, None)
+                _run_local_chunk(
+                    record.fn, payload, record.tasks, None, record.deadline
+                )
             )
             if record.encode:
                 results = [
                     _dumps_anchored(result, self._anchors)
                     for result in results
                 ]
+        except DeadlineExceededError as error:
+            self._executor._count_dispatch(deadline_expirations=1)
+            self._settle_error(record, error)
         except BaseException as error:  # noqa: BLE001 - settle, don't lose
             self._settle_error(record, error)
         else:
@@ -1590,7 +1679,9 @@ class _ShmDispatchSession(DispatchSession):
     # -- watchdog ----------------------------------------------------------
 
     def _ensure_watchdog(self) -> None:
-        if self._watchdog is not None or task_timeout() is None:
+        if self._watchdog is not None or (
+            task_timeout() is None and not self._deadline_active
+        ):
             return
         with self._retry_lock:
             if self._watchdog is None:
@@ -1602,35 +1693,57 @@ class _ShmDispatchSession(DispatchSession):
                 self._watchdog.start()
 
     def _watchdog_loop(self) -> None:
-        """Kill the pool under chunks that outlive their deadline.
+        """Recover chunks that outlive their timeout or request deadline.
 
-        A process pool cannot cancel a running task, so a hung chunk is
-        recovered by force: terminating the workers breaks the pool,
-        every pending raw future fails with ``BrokenProcessPool``, and
-        the ordinary crash-replay path re-dispatches the lost chunks on
-        a fresh pool.  Runs until the session is closed *and* nothing is
-        left in flight, so a close racing a hang still drains.
+        Two distinct clocks run here.  A chunk past the *task timeout*
+        (``MIRAGE_TASK_TIMEOUT``) is presumed hung: a process pool
+        cannot cancel a running task, so it is recovered by force —
+        terminating the workers breaks the pool, every pending raw
+        future fails with ``BrokenProcessPool``, and the crash-replay
+        path re-dispatches the lost chunks on a fresh pool.  A chunk
+        past its *request deadline* is not hung, just late: its wrapped
+        future settles with :class:`DeadlineExceededError` while the
+        pool — and every sibling chunk on it — keeps running
+        undisturbed (the worker abandons the expired chunk itself at
+        its next task boundary).  Runs until the session is closed
+        *and* nothing is left in flight, so a close racing a hang still
+        drains.
         """
         while True:
             with self._retry_lock:
                 records = list(self._inflight.values())
             if self._closed and not records:
                 return
-            deadline = task_timeout()
-            if deadline is None:
-                time.sleep(0.05)
-                continue
+            timeout = task_timeout()
             now = time.monotonic()
             for record in records:
+                if (
+                    record.deadline is not None
+                    and now >= record.deadline
+                    and not record.wrapped.done()
+                ):
+                    self._executor._count_dispatch(deadline_expirations=1)
+                    self._settle_error(
+                        record,
+                        DeadlineExceededError(
+                            "request deadline expired with its chunk "
+                            "still in flight"
+                        ),
+                    )
+                    continue
                 raw = record.raw
                 if (
-                    raw is not None
+                    timeout is not None
+                    and raw is not None
                     and not raw.done()
                     and record.submitted is not None
-                    and now - record.submitted > deadline
+                    and now - record.submitted > timeout
                 ):
                     self._executor._respawn_pool(record.generation)
-            time.sleep(max(0.01, min(0.05, deadline / 4)))
+            if timeout is None:
+                time.sleep(0.02)
+            else:
+                time.sleep(max(0.01, min(0.05, timeout / 4)))
 
     # -- submission --------------------------------------------------------
 
@@ -1642,11 +1755,14 @@ class _ShmDispatchSession(DispatchSession):
         fn: Callable[[Any, Any], Any] | None = None,
         encode: bool = False,
         kind: str = "trial",
+        deadline: float | None = None,
     ) -> list[concurrent.futures.Future]:
         batch = list(tasks)
         handle = self._handles[slot]
         workers = self._executor.max_workers or os.cpu_count() or 1
         size = max(1, math.ceil(len(batch) / (workers * CHUNKS_PER_WORKER)))
+        if deadline is not None:
+            self._deadline_active = True
         futures: list[concurrent.futures.Future] = []
         for chunk in _chunk(batch, size):
             record = _ChunkRecord(
@@ -1656,6 +1772,7 @@ class _ShmDispatchSession(DispatchSession):
                 encode=encode,
                 kind=kind,
                 faults=self._next_chunk_faults(kind, len(chunk)),
+                deadline=deadline,
             )
             with self._retry_lock:
                 self._inflight[id(record)] = record
@@ -1705,6 +1822,9 @@ class TrialExecutor:
             "lost_tasks": 0,
             "executor_downgrades": 0,
             "transport_downgrades": 0,
+            # Chunks abandoned at an expired request deadline — zero on
+            # a clean run (and on any run without deadlines).
+            "deadline_expirations": 0,
         }
         # Chunk completion callbacks fold worker-side copy counts in from
         # the pool's collector thread, so counter updates are locked.

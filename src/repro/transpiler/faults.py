@@ -6,16 +6,23 @@ if it can be exercised on demand, at exact task positions, on every
 executor and transport.  This module is that harness:
 
 * ``MIRAGE_FAULT_PLAN`` — a comma-separated spec parsed by
-  :func:`parse_fault_plan` / :meth:`FaultPlan.from_env`.  Task faults are
+  :func:`parse_fault_plan` / :meth:`FaultPlan.from_env`.  Every entry
+  follows the ``kind:stage:ordinal`` grammar.  Task faults are
   ``action:kind:index`` with ``action`` one of ``kill`` / ``hang`` /
-  ``corrupt`` and ``kind`` one of ``trial`` / ``plan``; ``index`` is the
-  zero-based *global submission ordinal* of that kind within one dispatch
-  (a session, or one ``map_shared`` call).  ``corrupt_shm:index`` targets
-  the chunk with that global chunk ordinal instead, raising a
-  :class:`~repro.exceptions.TransportError` before the payload loads —
-  exactly what a vanished segment looks like.  Example::
+  ``corrupt`` / ``slow`` and ``kind`` one of ``trial`` / ``plan``;
+  ``index`` is the zero-based *global submission ordinal* of that kind
+  within one dispatch (a session, or one ``map_shared`` call).
+  ``corrupt_shm:index`` targets the chunk with that global chunk
+  ordinal instead, raising a :class:`~repro.exceptions.TransportError`
+  before the payload loads — exactly what a vanished segment looks
+  like.  Two further kinds target the *service* tier rather than the
+  dispatcher: ``shed:request:N`` makes :class:`MirageService` treat
+  its ``N``-th submission (global, zero-based) as over quota, and
+  ``trip_breaker:window:N`` makes the service's circuit breaker count
+  its ``N``-th dispatched window as a threshold-worth of executor
+  failures.  Example::
 
-      MIRAGE_FAULT_PLAN="kill:trial:7,hang:plan:2,corrupt_shm:1"
+      MIRAGE_FAULT_PLAN="kill:trial:7,slow:plan:2,corrupt_shm:1,shed:request:5"
 
 * The dispatcher resolves the plan into per-chunk :class:`ChunkFaults`
   records at submit time (workers never count anything, so work stealing
@@ -55,7 +62,10 @@ from repro.exceptions import TranspilerError, TransportError
 SEGMENT_PREFIX = "mirage_shm_"
 
 #: Actions a task fault may take, in the worker that draws the task.
-_TASK_ACTIONS = ("kill", "hang", "corrupt")
+_TASK_ACTIONS = ("kill", "hang", "corrupt", "slow")
+
+#: Service-tier fault kinds: action → the stage name its ordinal counts.
+_SERVICE_ACTIONS = {"shed": "request", "trip_breaker": "window"}
 
 #: Exit status used by injected worker kills — distinctive in logs.
 KILL_EXIT_CODE = 86
@@ -64,6 +74,13 @@ KILL_EXIT_CODE = 86
 #: ``MIRAGE_FAULT_HANG_SECONDS``.  Long enough that any sane
 #: ``MIRAGE_TASK_TIMEOUT`` expires first.
 _HANG_SECONDS_DEFAULT = 30.0
+
+#: Default delay of an injected ``slow`` fault (seconds); override with
+#: ``MIRAGE_FAULT_SLOW_SECONDS``.  Deliberately *shorter* than any sane
+#: ``MIRAGE_TASK_TIMEOUT``: a slow task must blow a tight per-request
+#: deadline without tripping the hang watchdog, so deadline expiry can
+#: be exercised independently of hang recovery.
+_SLOW_SECONDS_DEFAULT = 0.25
 
 
 class InjectedWorkerCrash(TranspilerError):
@@ -121,6 +138,22 @@ def fault_hang_seconds() -> float:
         return _HANG_SECONDS_DEFAULT
 
 
+def fault_slow_seconds() -> float:
+    """How long an injected ``slow`` fault delays its task (seconds).
+
+    Read from ``MIRAGE_FAULT_SLOW_SECONDS`` per call (default 0.25).
+    Keep it below the configured ``MIRAGE_TASK_TIMEOUT`` — a slow task
+    is meant to outlive a request *deadline*, not the hang watchdog.
+    """
+    value = os.environ.get("MIRAGE_FAULT_SLOW_SECONDS", "").strip()
+    if not value:
+        return _SLOW_SECONDS_DEFAULT
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return _SLOW_SECONDS_DEFAULT
+
+
 @dataclasses.dataclass(frozen=True)
 class FaultSpec:
     """One parsed fault-plan entry (action, task kind, global index)."""
@@ -145,8 +178,10 @@ class ChunkFaults:
     kills: tuple[int, ...] = ()
     hangs: tuple[int, ...] = ()
     corrupts: tuple[int, ...] = ()
+    slows: tuple[int, ...] = ()
     corrupt_shm: bool = False
     hang_seconds: float = _HANG_SECONDS_DEFAULT
+    slow_seconds: float = _SLOW_SECONDS_DEFAULT
     dispatcher_pid: int = -1
 
     def check_transport(self) -> None:
@@ -166,6 +201,8 @@ class ChunkFaults:
             )
         if offset in self.hangs:
             time.sleep(self.hang_seconds)
+        if offset in self.slows:
+            time.sleep(self.slow_seconds)
 
     def after_task(self, offset: int, result: object) -> object:
         """Swap the task's result for garbage if a ``corrupt`` fault aims here."""
@@ -174,14 +211,28 @@ class ChunkFaults:
         return result
 
 
+#: The accepted entry grammar, named verbatim by every parse error so a
+#: malformed plan fails fast with the full contract in the message.
+FAULT_PLAN_GRAMMAR = (
+    "kind:stage:ordinal — one of "
+    "'kill|hang|corrupt|slow:trial|plan:<ordinal>', "
+    "'corrupt_shm:<ordinal>', 'shed:request:<ordinal>' or "
+    "'trip_breaker:window:<ordinal>'"
+)
+
+
 def parse_fault_plan(spec: str) -> "FaultPlan":
     """Parse a ``MIRAGE_FAULT_PLAN`` string into a :class:`FaultPlan`.
 
-    Grammar: comma-separated entries; each entry is either
-    ``action:kind:index`` (``action`` in ``kill``/``hang``/``corrupt``,
-    ``kind`` in ``trial``/``plan``) or ``corrupt_shm:index``.  Whitespace
-    around entries is ignored; an empty spec yields an empty plan.
-    Raises :class:`~repro.exceptions.TranspilerError` on anything else.
+    Grammar: comma-separated ``kind:stage:ordinal`` entries — task
+    faults ``action:kind:index`` (``action`` in ``kill``/``hang``/
+    ``corrupt``/``slow``, ``kind`` in ``trial``/``plan``), chunk faults
+    ``corrupt_shm:index``, and service faults ``shed:request:index`` /
+    ``trip_breaker:window:index``.  Whitespace around entries is
+    ignored; an empty spec yields an empty plan.  Anything else raises
+    :class:`~repro.exceptions.TranspilerError` *at parse time* — the
+    error names the accepted grammar so a typo fails fast instead of
+    surfacing mid-dispatch.
     """
     entries: list[FaultSpec] = []
     for raw in spec.split(","):
@@ -201,12 +252,17 @@ def parse_fault_plan(spec: str) -> "FaultPlan":
                     raise ValueError(kind)
                 entries.append(FaultSpec(action, kind, int(index)))
                 continue
+            if len(fields) == 3 and fields[0] in _SERVICE_ACTIONS:
+                action, kind, index = fields
+                if kind != _SERVICE_ACTIONS[action]:
+                    raise ValueError(kind)
+                entries.append(FaultSpec(action, kind, int(index)))
+                continue
             raise ValueError(part)
         except ValueError:
             raise TranspilerError(
                 f"bad MIRAGE_FAULT_PLAN entry {part!r} — expected "
-                f"'kill|hang|corrupt:trial|plan:<index>' or "
-                f"'corrupt_shm:<index>'"
+                f"{FAULT_PLAN_GRAMMAR}"
             ) from None
     return FaultPlan(entries)
 
@@ -224,9 +280,14 @@ class FaultPlan:
     def __init__(self, specs: Iterable[FaultSpec]) -> None:
         self._by_kind: dict[str, dict[int, str]] = {"trial": {}, "plan": {}}
         self._corrupt_chunks: set[int] = set()
+        self._service: dict[str, set[int]] = {
+            action: set() for action in _SERVICE_ACTIONS
+        }
         for spec in specs:
             if spec.action == "corrupt_shm":
                 self._corrupt_chunks.add(spec.index)
+            elif spec.action in _SERVICE_ACTIONS:
+                self._service[spec.action].add(spec.index)
             else:
                 self._by_kind[spec.kind][spec.index] = spec.action
 
@@ -234,7 +295,18 @@ class FaultPlan:
         return bool(
             self._corrupt_chunks
             or any(self._by_kind[kind] for kind in self._by_kind)
+            or any(self._service[action] for action in self._service)
         )
+
+    def service_fault(self, action: str, ordinal: int) -> bool:
+        """Whether a service fault of ``action`` targets this ordinal.
+
+        ``action`` is ``"shed"`` (queried with the service's global
+        submission ordinal) or ``"trip_breaker"`` (queried with the
+        global dispatched-window ordinal).  The service owns both
+        counters, mirroring how the dispatcher owns task ordinals.
+        """
+        return ordinal in self._service.get(action, ())
 
     @classmethod
     def from_env(cls) -> "FaultPlan | None":
@@ -265,6 +337,7 @@ class FaultPlan:
         kills: list[int] = []
         hangs: list[int] = []
         corrupts: list[int] = []
+        slows: list[int] = []
         for index, action in planned.items():
             if start <= index < start + count:
                 offset = index - start
@@ -272,17 +345,21 @@ class FaultPlan:
                     kills.append(offset)
                 elif action == "hang":
                     hangs.append(offset)
+                elif action == "slow":
+                    slows.append(offset)
                 else:
                     corrupts.append(offset)
         corrupt_shm = chunk_ordinal in self._corrupt_chunks
-        if not (kills or hangs or corrupts or corrupt_shm):
+        if not (kills or hangs or corrupts or slows or corrupt_shm):
             return None
         return ChunkFaults(
             kills=tuple(sorted(kills)),
             hangs=tuple(sorted(hangs)),
             corrupts=tuple(sorted(corrupts)),
+            slows=tuple(sorted(slows)),
             corrupt_shm=corrupt_shm,
             hang_seconds=fault_hang_seconds(),
+            slow_seconds=fault_slow_seconds(),
             dispatcher_pid=os.getpid(),
         )
 

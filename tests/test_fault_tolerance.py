@@ -20,12 +20,18 @@ import glob
 import multiprocessing
 import os
 import pickle
+import time
 
 import pytest
 
 from repro.circuits.library import ghz, qft
 from repro.core import transpile_many
-from repro.exceptions import TranspilerError, TransportError
+from repro.exceptions import (
+    DeadlineExceededError,
+    InvalidModeError,
+    TranspilerError,
+    TransportError,
+)
 from repro.polytopes import get_coverage_set
 from repro.transpiler import (
     ProcessExecutor,
@@ -131,10 +137,30 @@ def test_fault_plan_empty_spec_is_empty():
     "kill:trial",               # missing index
     "kill:trial:x",             # non-integer index
     "corrupt_shm",              # missing chunk ordinal
+    "shed:trial:1",             # shed only targets the request stage
+    "trip_breaker:request:0",   # trip_breaker only targets windows
+    "slow:request:1",           # slow is a task fault, not a service one
 ])
 def test_fault_plan_rejects_bad_entries(spec):
     with pytest.raises(TranspilerError, match="MIRAGE_FAULT_PLAN"):
         parse_fault_plan(spec)
+
+
+def test_fault_plan_errors_name_the_grammar():
+    """A parse failure tells the operator what shapes are accepted."""
+    with pytest.raises(TranspilerError, match="kind:stage:ordinal"):
+        parse_fault_plan("shed:request")
+
+
+def test_fault_plan_parses_service_entries():
+    plan = parse_fault_plan("shed:request:3, trip_breaker:window:0, slow:trial:2")
+    assert bool(plan)
+    assert plan.service_fault("shed", 3)
+    assert not plan.service_fault("shed", 2)
+    assert plan.service_fault("trip_breaker", 0)
+    assert not plan.service_fault("trip_breaker", 1)
+    faults = plan.chunk_faults("trial", start=0, count=8, chunk_ordinal=0)
+    assert faults.slows == (2,)
 
 
 def test_chunk_faults_fire_positionally():
@@ -233,8 +259,118 @@ def test_clean_run_reports_zero_fault_counters(monkeypatch):
     for key in (
         "retries", "respawns", "lost_tasks",
         "executor_downgrades", "transport_downgrades",
+        "deadline_expirations",
     ):
         assert result.dispatch[key] == 0
+
+
+def test_injected_slow_tasks_preserve_digests(monkeypatch):
+    """Slowed tasks delay delivery but never lose work or change bits."""
+    expected = _baseline()
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "slow:trial:1,slow:trial:3")
+    monkeypatch.setenv("MIRAGE_FAULT_SLOW_SECONDS", "0.05")
+    with ThreadExecutor(max_workers=2) as executor:
+        faulted = _batch(executor)
+    assert [_fingerprint(r) for r in faulted] == expected
+    assert faulted.dispatch["retries"] == 0
+    assert faulted.dispatch["lost_tasks"] == 0
+
+
+#: The recovery-provenance subset of the dispatch counters — the part a
+#: deterministic fault plan must reproduce exactly run over run.
+RECOVERY_COUNTERS = (
+    "retries", "respawns", "lost_tasks",
+    "executor_downgrades", "transport_downgrades",
+    "deadline_expirations",
+)
+
+
+# The process pool runs one worker: in-process injections fail exactly
+# one chunk, but a *real* worker kill takes down every chunk in flight,
+# and with >1 worker the sibling's progress at kill time is a race.  One
+# sequential worker makes the lost-chunk set — and so the counters —
+# a pure function of the plan.
+@pytest.mark.parametrize("make_executor", [
+    lambda: ThreadExecutor(max_workers=2),
+    lambda: ProcessExecutor(max_workers=1),
+])
+def test_recovery_counters_reproducible_across_runs(monkeypatch, make_executor):
+    """Same fault plan + same seed => byte-identical results AND
+    byte-identical recovery counters across two runs of one executor."""
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "kill:trial:1,corrupt:trial:4")
+    runs = []
+    for _ in range(2):
+        with make_executor() as executor:
+            batch = _batch(executor)
+        runs.append((
+            [_fingerprint(r) for r in batch],
+            {key: batch.dispatch[key] for key in RECOVERY_COUNTERS},
+        ))
+    assert runs[0] == runs[1]
+    assert runs[0][1]["retries"] >= 1
+    assert _own_segments() == []
+
+
+def test_recovery_results_identical_across_executors(monkeypatch):
+    """The same plan recovered on different executors converges on the
+    same bytes, whatever each executor's recovery path counted."""
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "kill:trial:2")
+    fingerprints = []
+    for make_executor in (
+        lambda: ThreadExecutor(max_workers=2),
+        lambda: ProcessExecutor(max_workers=2),
+    ):
+        with make_executor() as executor:
+            batch = _batch(executor)
+            assert dict(executor.dispatch_stats)["retries"] >= 1
+        fingerprints.append([_fingerprint(r) for r in batch])
+    assert fingerprints[0] == fingerprints[1] == _baseline()
+
+
+# ---------------------------------------------------------------------------
+# Deadline propagation: typed expiry, sibling isolation, counters
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("make_executor", [
+    SerialExecutor,
+    lambda: ThreadExecutor(max_workers=2),
+    lambda: ProcessExecutor(max_workers=2),
+])
+def test_expired_deadline_fails_one_circuit_not_its_siblings(make_executor):
+    """on_error="return" places a typed error at the expired circuit's
+    position; siblings stay byte-identical and nothing leaks."""
+    expected = _baseline()
+    with make_executor() as executor:
+        batch = _batch(
+            executor,
+            circuit_deadlines=[time.monotonic() - 1.0, None],
+            on_error="return",
+        )
+        stats = dict(executor.dispatch_stats)
+    assert isinstance(batch.results[0], DeadlineExceededError)
+    assert _fingerprint(batch.results[1]) == expected[1]
+    assert stats["deadline_expirations"] >= 1
+    assert batch.dispatch["deadline_expirations"] >= 1
+    # Aggregate helpers skip the placeholder instead of crashing.
+    assert batch.summary()["circuits"] == 2
+    assert batch.circuit_seconds()[0] == 0.0
+    assert _own_segments() == []
+
+
+def test_expired_deadline_raises_by_default():
+    with pytest.raises(DeadlineExceededError):
+        _batch(circuit_deadlines=[time.monotonic() - 1.0, None])
+
+
+def test_on_error_rejects_unknown_mode():
+    with pytest.raises(InvalidModeError, match="on_error"):
+        _batch(on_error="bogus")
+
+
+def test_circuit_deadlines_length_must_match():
+    with pytest.raises(TranspilerError, match="circuit_deadlines"):
+        _batch(circuit_deadlines=[None])
 
 
 # ---------------------------------------------------------------------------

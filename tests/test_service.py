@@ -13,7 +13,12 @@ under genuinely concurrent, multi-tenant load:
   produce exactly one batch dispatch, and the provenance log says so;
 * **Clean shutdown** — ``aclose()`` leaks no shared-memory segments and
   no worker processes, including when a fault plan kills a worker
-  mid-window.
+  mid-window;
+* **Overload safety** — admission quotas shed excess load with typed
+  errors while in-quota tenants are served byte-identically, expired
+  deadlines fail only their own request, a tripped circuit breaker
+  degrades to in-process execution without changing an output bit, and
+  a drain refuses new work while finishing what was admitted.
 
 No pytest-asyncio: each test drives a private event loop through
 ``asyncio.run`` with an internal deadline, so a wedged service fails
@@ -30,7 +35,13 @@ import pytest
 
 from repro.circuits.library import ghz, qft, twolocal_full
 from repro.core.transpile import transpile
-from repro.exceptions import ServiceError, TranspilerError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
+    TranspilerError,
+)
 from repro.polytopes import CoverageRegistry, get_coverage_set
 from repro.service import (
     DEFAULT_WINDOW_MS,
@@ -439,3 +450,304 @@ def test_shutdown_refuses_to_race_borrowed_executor_leases():
                 executor.close()
         # Lease released: the context manager close below succeeds.
     assert executor.worker_pids() == []
+
+
+# ---------------------------------------------------------------------------
+# Guarantee 5a: admission control -- quotas shed, in-quota tenants served
+# ---------------------------------------------------------------------------
+
+
+def test_breaker_trip_with_quota_shed_and_no_starvation(monkeypatch):
+    """The overload acceptance scenario: under a fault plan that trips
+    the breaker, a multi-tenant batch completes with every response
+    byte-identical to direct ``transpile()`` at the same seed; the
+    over-quota submission gets ``ServiceOverloadError`` while in-quota
+    tenants show no starvation; the breaker serves the next window
+    degraded and half-open-probes back to closed."""
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "trip_breaker:window:0")
+    expected = [_fingerprint(_direct(circuit, seed)) for circuit, seed, _ in LOAD]
+    degraded_expected = _fingerprint(_direct(ghz(5), 77))
+    probe_expected = _fingerprint(_direct(qft(4), 88))
+
+    async def main():
+        async with _service(
+            window_ms=80.0, tenant_quota=2, breaker_cooldown_s=0.1,
+            prewarm=False,
+        ) as service:
+            admitted = [
+                asyncio.ensure_future(service.submit(
+                    circuit, TOPOLOGY, seed=seed, tenant=tenant,
+                    **REQUEST_KNOBS,
+                ))
+                for circuit, seed, tenant in LOAD
+            ]
+            await asyncio.sleep(0.02)  # all six admitted; window still open
+            with pytest.raises(ServiceOverloadError, match="over quota") as info:
+                await service.submit(
+                    qft(4), TOPOLOGY, seed=99, tenant="alice", **REQUEST_KNOBS
+                )
+            assert info.value.retry_after_ms > 0
+            results = await asyncio.gather(*admitted)
+            stats_mid = service.stats()
+            degraded = await service.submit(
+                ghz(5), TOPOLOGY, seed=77, tenant="bob", **REQUEST_KNOBS
+            )
+            await asyncio.sleep(0.12)  # breaker cooldown elapses
+            probe = await service.submit(
+                qft(4), TOPOLOGY, seed=88, tenant="carol", **REQUEST_KNOBS
+            )
+            return results, degraded, probe, stats_mid, service.stats()
+
+    results, degraded, probe, stats_mid, stats = _run(main())
+    # Every in-quota response is byte-identical to a direct call --
+    # including the window served while the breaker was tripping and
+    # the degraded (serial in-process) and probe windows after it.
+    assert [_fingerprint(result) for result in results] == expected
+    assert _fingerprint(degraded) == degraded_expected
+    assert _fingerprint(probe) == probe_expected
+    # The over-quota submission shed; nothing else did.
+    assert stats["shed"] == {"tenant_quota": 1}
+    assert stats["shed_requests"] == 1
+    assert stats["completed"] == len(LOAD) + 2
+    assert stats["failed"] == 0
+    # Breaker lifecycle: tripped by window 0, degraded window 1,
+    # half-open probe window 2 closed it again.
+    assert stats_mid["breaker"]["state"] == "open"
+    assert stats["breaker"]["state"] == "closed"
+    assert stats["breaker"]["trips"] == 1
+    assert stats["degraded_windows"] == 1
+    transitions = [
+        (t["from"], t["to"]) for t in stats["breaker"]["transitions"]
+    ]
+    assert transitions == [
+        ("closed", "open"), ("open", "half_open"), ("half_open", "closed"),
+    ]
+    first, second, third = stats["window_log"]
+    assert first["tenants"] == {"alice": 2, "bob": 2, "carol": 2}
+    assert "by_tenant" in first["queue_wait_seconds"]
+    assert not first["degraded"]
+    assert second["degraded"] and second["executor"] == "serial"
+    assert third["probe"] and not third["degraded"]
+
+
+def test_service_wide_pending_cap_sheds(monkeypatch):
+    async def main():
+        async with _service(
+            window_ms=80.0, max_pending=1, prewarm=False
+        ) as service:
+            first = asyncio.ensure_future(
+                service.submit(qft(4), TOPOLOGY, seed=3, **REQUEST_KNOBS)
+            )
+            await asyncio.sleep(0.01)
+            with pytest.raises(ServiceOverloadError, match="queue is full"):
+                await service.submit(
+                    ghz(5), TOPOLOGY, seed=4, **REQUEST_KNOBS
+                )
+            return await first, service.stats()
+
+    result, stats = _run(main())
+    assert _fingerprint(result) == _fingerprint(_direct(qft(4), 3))
+    assert stats["shed"] == {"queue_full": 1}
+    assert stats["requests"] == 1  # the shed submission was never admitted
+
+
+def test_fault_plan_sheds_targeted_submission(monkeypatch):
+    """``shed:request:N`` deterministically sheds the Nth submission."""
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "shed:request:1")
+
+    async def main():
+        async with _service(window_ms=0.0, prewarm=False) as service:
+            await service.submit(qft(4), TOPOLOGY, seed=1, **REQUEST_KNOBS)
+            with pytest.raises(ServiceOverloadError, match="fault plan"):
+                await service.submit(
+                    qft(4), TOPOLOGY, seed=2, **REQUEST_KNOBS
+                )
+            await service.submit(qft(4), TOPOLOGY, seed=3, **REQUEST_KNOBS)
+            return service.stats()
+
+    stats = _run(main())
+    assert stats["shed"] == {"injected": 1}
+    assert stats["completed"] == 2
+
+
+def test_malformed_fault_plan_fails_fast_at_construction(monkeypatch):
+    """A bad ``MIRAGE_FAULT_PLAN`` refuses to construct the service,
+    naming the accepted grammar — instead of crashing mid-window."""
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "shed:trial:1")
+    with pytest.raises(TranspilerError, match="kind:stage:ordinal"):
+        _service(prewarm=False)
+
+
+# ---------------------------------------------------------------------------
+# Guarantee 5b: deadlines fail only their own request, typed, never a hang
+# ---------------------------------------------------------------------------
+
+
+def test_expired_deadline_fails_only_its_own_request():
+    expected = _fingerprint(_direct(ghz(5), 41))
+
+    async def main():
+        async with _service(window_ms=40.0, prewarm=False) as service:
+            doomed = asyncio.ensure_future(service.submit(
+                twolocal_full(4), TOPOLOGY, seed=5, deadline_ms=1.0,
+                **REQUEST_KNOBS,
+            ))
+            sibling = asyncio.ensure_future(service.submit(
+                ghz(5), TOPOLOGY, seed=41, **REQUEST_KNOBS,
+            ))
+            results = await asyncio.gather(
+                doomed, sibling, return_exceptions=True
+            )
+            return results, service.stats()
+
+    results, stats = _run(main())
+    assert isinstance(results[0], DeadlineExceededError)
+    assert _fingerprint(results[1]) == expected  # sibling untouched
+    assert stats["deadline_expirations"] >= 1
+    assert stats["completed"] == 1
+
+
+def test_non_positive_deadline_expires_at_submission():
+    async def main():
+        async with _service(window_ms=0.0, prewarm=False) as service:
+            with pytest.raises(DeadlineExceededError, match="at submission"):
+                await service.submit(
+                    qft(4), TOPOLOGY, seed=1, deadline_ms=0.0,
+                    **REQUEST_KNOBS,
+                )
+            return service.stats()
+
+    stats = _run(main())
+    assert stats["deadline_expirations"] == 1
+    assert stats["requests"] == 0  # never admitted
+
+
+# ---------------------------------------------------------------------------
+# Guarantee 5c: graceful drain -- typed rejection, nothing leaked
+# ---------------------------------------------------------------------------
+
+
+def test_submit_during_drain_raises_typed_closed_error():
+    """A drain in progress rejects new work with ServiceClosedError
+    while finishing what was already admitted."""
+    expected = _fingerprint(_direct(qft(4), 13))
+
+    async def main():
+        service = _service(window_ms=30_000.0, prewarm=False)
+        parked = asyncio.ensure_future(
+            service.submit(qft(4), TOPOLOGY, seed=13, **REQUEST_KNOBS)
+        )
+        await asyncio.sleep(0.01)  # admitted, window still open
+        closer = asyncio.ensure_future(service.aclose())
+        await asyncio.sleep(0)  # drain begun, dispatch in flight
+        assert service.closed
+        with pytest.raises(ServiceClosedError, match="closed"):
+            await service.submit(ghz(5), TOPOLOGY, seed=1, **REQUEST_KNOBS)
+        result = await parked
+        await closer
+        return result, service.stats()
+
+    result, stats = _run(main())
+    assert _fingerprint(result) == expected
+    assert stats["drain_abandoned"] == 0
+
+
+def test_drain_under_injected_hang_leaks_nothing(monkeypatch):
+    """aclose() during an injected worker hang waits out the recovery:
+    admitted requests resolve byte-identically, zero leaked workers and
+    segments."""
+    monkeypatch.setenv("MIRAGE_FAULT_PLAN", "hang:trial:1")
+    monkeypatch.setenv("MIRAGE_FAULT_HANG_SECONDS", "5")
+    monkeypatch.setenv("MIRAGE_TASK_TIMEOUT", "1.0")
+    expected = [_fingerprint(_direct(circuit, seed)) for circuit, seed, _ in LOAD[:2]]
+
+    async def main():
+        service = _service(executor="processes", window_ms=60.0)
+        # Warm the pool up-front so admission (and the open window) is
+        # not still parked behind the first submit's prewarm when the
+        # drain begins.
+        await asyncio.to_thread(service.executor.prewarm)
+        futures = [
+            asyncio.ensure_future(service.submit(
+                circuit, TOPOLOGY, seed=seed, tenant=tenant, **REQUEST_KNOBS
+            ))
+            for circuit, seed, tenant in LOAD[:2]
+        ]
+        while service.stats()["pending"] < 2:
+            await asyncio.sleep(0.005)
+        pids = service.executor.worker_pids()
+        await service.aclose()  # drains through the hang + respawn
+        results = await asyncio.gather(*futures)
+        return results, pids, service.stats()
+
+    results, pids, stats = _run(main())
+    assert [_fingerprint(result) for result in results] == expected
+    assert stats["drain_abandoned"] == 0
+    assert stats["executor"]["respawns"] >= 1
+    assert _own_segments() == []
+    _assert_workers_dead(pids)
+
+
+# ---------------------------------------------------------------------------
+# Registry eviction: LRU watermark, TTL expiry, env knobs
+# ---------------------------------------------------------------------------
+
+
+def test_registry_evicts_lru_beyond_max_entries():
+    registry = CoverageRegistry(
+        loader=lambda basis, **kwargs: COVERAGE, max_entries=2
+    )
+    registry.get("sqrt_iswap", num_samples=1)
+    registry.get("sqrt_iswap", num_samples=2)
+    registry.get("sqrt_iswap", num_samples=1)  # refresh 1: LRU order is [2, 1]
+    registry.get("sqrt_iswap", num_samples=3)  # evicts 2, keeps the refreshed 1
+    stats = registry.stats()
+    assert stats["size"] == 2
+    assert stats["evictions"] == 1
+    registry.get("sqrt_iswap", num_samples=1)  # still resident
+    assert registry.stats()["hits"] == 2
+    registry.get("sqrt_iswap", num_samples=2)  # evicted, so rebuilt
+    assert registry.stats()["builds"] == 4
+
+
+def test_registry_ttl_expires_and_rebuilds():
+    builds = {"count": 0}
+
+    def loader(basis, **kwargs):
+        builds["count"] += 1
+        return COVERAGE
+
+    registry = CoverageRegistry(loader=loader, ttl_seconds=0.05)
+    assert registry.get("sqrt_iswap") is COVERAGE
+    assert registry.get("sqrt_iswap") is COVERAGE  # hit inside the TTL
+    time.sleep(0.06)
+    assert registry.get("sqrt_iswap") is COVERAGE  # expired -> rebuilt
+    stats = registry.stats()
+    assert stats["expirations"] == 1
+    assert builds["count"] == 2
+
+
+def test_registry_byte_watermark_protects_newest_entry():
+    """A watermark smaller than one set never thrash-evicts the entry a
+    caller is about to use."""
+    registry = CoverageRegistry(
+        loader=lambda basis, **kwargs: COVERAGE, max_bytes=1
+    )
+    registry.get("sqrt_iswap", num_samples=1)
+    registry.get("sqrt_iswap", num_samples=2)  # evicts 1; 2 itself is protected
+    stats = registry.stats()
+    assert stats["size"] == 1
+    assert stats["evictions"] == 1
+    assert stats["bytes"] > 1
+    assert registry.get("sqrt_iswap", num_samples=2) is COVERAGE
+    assert registry.stats()["hits"] == 1
+
+
+def test_registry_limits_from_environment(monkeypatch):
+    monkeypatch.setenv("MIRAGE_REGISTRY_MAX_ENTRIES", "1")
+    registry = CoverageRegistry(loader=lambda basis, **kwargs: COVERAGE)
+    registry.get("sqrt_iswap", num_samples=1)
+    registry.get("sqrt_iswap", num_samples=2)
+    stats = registry.stats()
+    assert stats["size"] == 1
+    assert stats["evictions"] == 1

@@ -86,6 +86,10 @@ PUBLIC_API = [
     ("repro.transpiler.executors", "TrialExecutor.prewarm"),
     ("repro.exceptions", "InvalidModeError"),
     ("repro.exceptions", "ServiceError"),
+    ("repro.exceptions", "ServiceOverloadError"),
+    ("repro.exceptions", "ServiceClosedError"),
+    ("repro.exceptions", "DeadlineExceededError"),
+    ("repro.transpiler.faults", "FaultPlan.service_fault"),
 ]
 
 #: Subset that must keep numpy-style section headers.
