@@ -485,6 +485,87 @@ def bench_service_overload(sizes) -> dict:
     }
 
 
+def bench_remote_dispatch(coverage, sizes) -> dict:
+    """Remote transport: two in-process worker hosts vs the serial run.
+
+    The same batch engine that feeds the local executors drives
+    ``RemoteExecutor`` against two ``WorkerHost`` instances over unix
+    sockets.  The section pins what the distributed tier promises: the
+    chosen routings are byte-identical to the serial baseline, payloads
+    ship once per host (content-addressed), and on a clean run every
+    recovery counter — replayed chunks (``retries``), ``reconnects``,
+    ``host_downgrades``, ``frames_garbled`` — is exactly zero.  Nonzero
+    values mean the loopback transport itself misbehaved and the timing
+    numbers are suspect.
+    """
+    from repro.transpiler.remote import RemoteExecutor, WorkerHost
+
+    circuits = _small_circuit_workload(max(1, sizes["batch_copies"] // 2))
+    width = max(circuit.num_qubits for circuit in circuits)
+    coupling = line_topology(width)
+    kwargs = dict(
+        coverage=coverage,
+        use_vf2=False,
+        layout_trials=sizes["batch_layout_trials"],
+        refinement_rounds=2,
+        seed=41,
+    )
+
+    start = time.perf_counter()
+    serial = transpile_many(
+        circuits, coupling, fanout="trials", executor=SerialExecutor(),
+        **kwargs,
+    )
+    serial_seconds = time.perf_counter() - start
+
+    hosts = [WorkerHost(heartbeat_s=0.5), WorkerHost(heartbeat_s=0.5)]
+    try:
+        for host in hosts:
+            host.start()
+        executor = RemoteExecutor(
+            hosts=[host.address for host in hosts], max_streams=2
+        )
+        try:
+            reachable = executor.prewarm()
+            start = time.perf_counter()
+            remote = transpile_many(
+                circuits, coupling, fanout="circuits", scheduler="stream",
+                executor=executor, **kwargs,
+            )
+            remote_seconds = time.perf_counter() - start
+            dispatch = dict(remote.dispatch)
+            host_meta = executor.host_meta()
+        finally:
+            executor.close()
+    finally:
+        for host in hosts:
+            host.close()
+
+    reference = batch_digests(serial)
+    digest_equal = batch_digests(remote) == reference
+    assert digest_equal, "remote dispatch diverged from the serial baseline"
+    return {
+        "workload": {
+            "circuits": len(circuits),
+            "widths": sorted({c.num_qubits for c in circuits}),
+            "layout_trials": sizes["batch_layout_trials"],
+        },
+        "hosts": host_meta,
+        "hosts_reachable": reachable,
+        "serial_s": round(serial_seconds, 4),
+        "remote_s": round(remote_seconds, 4),
+        "chunks": dispatch.get("chunks", 0),
+        "chunks_replayed": dispatch.get("retries", 0),
+        "reconnects": dispatch.get("reconnects", 0),
+        "host_downgrades": dispatch.get("host_downgrades", 0),
+        "frames_garbled": dispatch.get("frames_garbled", 0),
+        "bytes_shipped": dispatch.get("bytes_shipped", 0),
+        "dispatch": dispatch,
+        "digest_equal": digest_equal,
+        "digest": hashlib.sha256("".join(reference).encode()).hexdigest(),
+    }
+
+
 def _assert_zero_copy(dispatch: dict, cores: int, label: str) -> None:
     """Pin the zero-copy invariants of one dispatch's provenance."""
     assert dispatch["shm_segments"] >= 1, (label, dispatch)
@@ -571,12 +652,32 @@ def main() -> None:
           f"breaker trips {service['breaker_trips']} "
           f"({service['runtime_s']:.2f} s)")
 
+    remote = bench_remote_dispatch(coverage, sizes)
+    remote_workload = remote["workload"]
+    print(f"[remote]        {remote_workload['circuits']} circuits x "
+          f"{remote_workload['layout_trials']} trials over "
+          f"{remote['hosts_reachable']} worker host(s): "
+          f"serial {remote['serial_s']:.2f}s, remote {remote['remote_s']:.2f}s")
+    print(f"  chunks {remote['chunks']} "
+          f"(replayed {remote['chunks_replayed']}), "
+          f"reconnects {remote['reconnects']}, "
+          f"host downgrades {remote['host_downgrades']}, "
+          f"garbled frames {remote['frames_garbled']}, "
+          f"shipped {remote['bytes_shipped']} B, "
+          f"digest equal: {remote['digest_equal']}")
+
     payload = {
         "meta": {
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": cores,
+            # The hostname itself stays out of the artefact; its hash
+            # still distinguishes runs from different machines.
+            "hostname_hash": hashlib.sha1(
+                platform.node().encode()
+            ).hexdigest()[:12],
             "mode": "full" if FULL else ("smoke" if args.smoke else "default"),
+            "smoke": bool(args.smoke),
             "unix_time": int(time.time()),
         },
         "trial_fanout": trial,
@@ -584,6 +685,7 @@ def main() -> None:
         "route_kernel": route,
         "plan_fanout": plan,
         "service_overload": service,
+        "remote_dispatch": remote,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -598,6 +700,7 @@ def main() -> None:
         ("batch-fanout barrier", batch["dispatch_barrier"]),
         ("batch-fanout blob", batch["dispatch_blob"]),
         ("plan-fanout executor", plan["dispatch_executor"]),
+        ("remote-dispatch", remote["dispatch"]),
     ):
         for counter in ("retries", "respawns", "lost_tasks",
                         "executor_downgrades", "transport_downgrades",
@@ -615,6 +718,13 @@ def main() -> None:
         assert service[counter] == 0, (
             f"service-overload: clean run reported {counter}="
             f"{service[counter]} — an overloaded host invalidates "
+            f"benchmark timings"
+        )
+    for counter in ("chunks_replayed", "reconnects", "host_downgrades",
+                    "frames_garbled"):
+        assert remote[counter] == 0, (
+            f"remote-dispatch: clean loopback run reported {counter}="
+            f"{remote[counter]} — a flaky transport invalidates "
             f"benchmark timings"
         )
     print("fault-tolerance provenance OK: all recovery and overload "

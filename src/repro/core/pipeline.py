@@ -561,6 +561,10 @@ class PlanOutcome:
     state: PipelineState
     seconds: float
     index: int
+    #: Shared-memory handle of the worker-parked trial spec (see
+    #: :func:`run_plan_parked`); ``None`` when the spec rode home in
+    #: ``state`` as usual.
+    spec_handle: object = None
 
 
 def run_plan(spec: PlanSpec, task: PlanTask) -> PlanOutcome:
@@ -595,6 +599,53 @@ def run_plan(spec: PlanSpec, task: PlanTask) -> PlanOutcome:
     return PlanOutcome(
         state=state, seconds=time.perf_counter() - start, index=task.index
     )
+
+
+def run_plan_parked(spec: PlanSpec, task: PlanTask) -> PlanOutcome:
+    """Plan one circuit, parking the planned trial spec worker-side.
+
+    Same front pipeline as :func:`run_plan`, but the heavy
+    :class:`TrialSpec` (the planned DAG) never rides the return path:
+    the worker publishes it straight into a shared-memory segment
+    (:func:`~repro.transpiler.executors.park_payload`) and only the
+    segment *handle* travels home, shrinking the encoded plan return —
+    pinned by the ``plan_return_bytes`` dispatch counter — to circuit
+    metadata.  The parent adopts the handle as a dispatch payload slot,
+    so trial chunks reference the exact bytes the planner wrote.
+
+    Parking is best-effort: outside a worker context (or with
+    ``MIRAGE_PLAN_PARK`` off, or shared memory unavailable) the outcome
+    is exactly :func:`run_plan`'s.  If the parked segment vanishes
+    before the trials dispatch — the planner worker died and a janitor
+    pass reclaimed its segments — the parent regenerates the identical
+    spec locally via :func:`rebuild_trial_spec`.
+    """
+    from repro.transpiler.executors import park_payload
+
+    outcome = run_plan(spec, task)
+    trial_plan = outcome.state.properties.get("trial_plan")
+    if trial_plan is not None and trial_plan.spec is not None:
+        handle = park_payload(trial_plan.spec)
+        if handle is not None:
+            outcome.state.properties["trial_plan"] = dataclasses.replace(
+                trial_plan, spec=None
+            )
+            outcome.spec_handle = handle
+    return outcome
+
+
+def rebuild_trial_spec(spec: PlanSpec, task: PlanTask) -> "TrialSpec":
+    """Regenerate one circuit's parked :class:`TrialSpec` deterministically.
+
+    The recovery loader behind :func:`run_plan_parked`: replanning the
+    circuit with the same batch spec and the same per-circuit seed
+    rebuilds the exact spec the dead worker parked (every front stage is
+    deterministic), so losing a parked segment costs one local planning
+    pass, never correctness.
+    """
+    outcome = run_plan(spec, task)
+    plan = outcome.state.properties.require("trial_plan")
+    return plan.spec
 
 
 def build_batch_back_pipeline() -> PassManager:

@@ -28,6 +28,7 @@ from __future__ import annotations
 import collections
 import concurrent.futures
 import dataclasses
+import functools
 import os
 import time
 from typing import Iterable, Sequence
@@ -47,7 +48,9 @@ from repro.core.pipeline import (
     build_mirage_pipeline,
     build_prepare_pipeline,
     resolve_coverage,
+    rebuild_trial_spec,
     run_plan,
+    run_plan_parked,
     validate_flow,
 )
 from repro.core.results import BatchResult, TranspileResult
@@ -550,15 +553,35 @@ class _StreamDrain:
         return self.deadlines[index]
 
     def park(
-        self, index: int, state: PipelineState, front_seconds: float
+        self,
+        index: int,
+        state: PipelineState,
+        front_seconds: float,
+        spec_handle: object = None,
+        spec_loader=None,
     ) -> None:
-        """Dispatch a planned circuit's trials and queue it for resume."""
+        """Dispatch a planned circuit's trials and queue it for resume.
+
+        ``spec_handle`` (with its ``spec_loader`` regeneration fallback)
+        is the worker-parked trial spec of executor-side planning with
+        ``MIRAGE_PLAN_PARK`` on: the session adopts the worker-written
+        segment as the payload slot instead of re-pickling a returned
+        spec.
+        """
         self.plan_seconds += front_seconds
         trial_plan = state.properties.get("trial_plan")
         futures: list = []
         slot = -1
         if trial_plan is not None:
-            slot = self.session.add_payload(trial_plan.spec)
+            adopt = getattr(self.session, "adopt_payload", None)
+            if spec_handle is not None and adopt is not None:
+                slot = adopt(spec_handle, loader=spec_loader)
+            elif trial_plan.spec is not None:
+                slot = self.session.add_payload(trial_plan.spec)
+            else:
+                # Parked worker-side but this session cannot adopt
+                # segments (defensive) — regenerate the spec locally.
+                slot = self.session.add_payload(spec_loader())
             futures = self.session.submit(
                 slot, trial_plan.refs, deadline=self._deadline_for(index)
             )
@@ -708,10 +731,19 @@ def _stream_executor_plan_fanout(
         collections.deque()
     )
 
+    # Worker-side plan park (MIRAGE_PLAN_PARK): the worker publishes the
+    # planned spec into shared memory and returns only its handle; the
+    # plan_return_bytes counter pins what the return path then carries.
+    plan_fn = (
+        run_plan_parked if getattr(session, "plan_park", False) else run_plan
+    )
+
     def admit(encoded: object) -> None:
         """Decode one planned state and feed its trials into the dispatch."""
         nonlocal admitted
         start = time.perf_counter()
+        if isinstance(encoded, (bytes, bytearray)):
+            trial_executor._count_dispatch(plan_return_bytes=len(encoded))
         outcome = session.decode(encoded)
         if outcome.index != admitted:  # pragma: no cover - defensive
             raise TranspilerError(
@@ -719,7 +751,24 @@ def _stream_executor_plan_fanout(
                 f"(expected {admitted})"
             )
         admitted += 1
-        drain.park(outcome.index, outcome.state, outcome.seconds)
+        spec_loader = None
+        if outcome.spec_handle is not None:
+            spec_loader = functools.partial(
+                rebuild_trial_spec,
+                plan_spec,
+                PlanTask(
+                    index=outcome.index,
+                    circuit=batch[outcome.index],
+                    seed=circuit_seeds[outcome.index],
+                ),
+            )
+        drain.park(
+            outcome.index,
+            outcome.state,
+            outcome.seconds,
+            spec_handle=outcome.spec_handle,
+            spec_loader=spec_loader,
+        )
         if session.outstanding():
             drain.overlap += time.perf_counter() - start
 
@@ -740,7 +789,7 @@ def _stream_executor_plan_fanout(
                     seed=circuit_seeds[next_index],
                 )
                 (future,) = session.submit(
-                    plan_slot, [task], fn=run_plan, encode=True, kind="plan"
+                    plan_slot, [task], fn=plan_fn, encode=True, kind="plan"
                 )
                 plan_pending.append(future)
                 next_index += 1

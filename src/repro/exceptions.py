@@ -105,6 +105,39 @@ class TransportError(TranspilerError):
     """
 
 
+class RemoteTransportError(TransportError):
+    """A remote worker-host connection was lost, timed out or went stale.
+
+    Covers every *recoverable* failure of the socket transport: a
+    connection reset mid-chunk, a host whose heartbeats stopped, a read
+    or connect deadline that expired.  Deriving from
+    :class:`TransportError` routes all of them through the established
+    replay ladder — reconnect with backoff, replay only the lost
+    chunks, degrade to local execution when the budget is spent.
+    """
+
+
+class GarbledFrameError(RemoteTransportError):
+    """A protocol frame failed its CRC (or magic) check.
+
+    Raised by the frame codec on either side of a connection, and by
+    the client when a host reports that a frame *it* received was
+    corrupt.  The connection's state is unknowable after a garbled
+    frame, so recovery always drops the connection and replays the
+    in-flight chunk on a fresh one (counted under ``frames_garbled``).
+    """
+
+
+class ProtocolVersionError(TranspilerError):
+    """Client and worker-host speak different protocol versions.
+
+    Deliberately *not* a :class:`TransportError`: a version mismatch is
+    a deployment bug that no amount of reconnecting fixes, so the
+    client marks the host down immediately instead of burning its
+    retry budget against it.
+    """
+
+
 class CoverageError(ReproError):
     """Raised when a coverage set cannot answer a membership/cost query."""
 

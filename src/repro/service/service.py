@@ -849,7 +849,15 @@ class MirageService:
 
     @staticmethod
     def _recovery_events(dispatch: dict | None) -> int:
-        """Breaker failure score of one window's dispatch counters."""
+        """Breaker failure score of one window's dispatch counters.
+
+        Local recovery (pool respawns, executor/transport downgrades)
+        and remote recovery (stream reconnects, hosts marked down) feed
+        the same score, so a service mounted on a
+        :class:`~repro.transpiler.remote.RemoteExecutor` trips its
+        breaker on a degrading cluster exactly as it would on a
+        degrading pool.
+        """
         if not dispatch:
             return 0
         return sum(
@@ -858,6 +866,8 @@ class MirageService:
                 "respawns",
                 "executor_downgrades",
                 "transport_downgrades",
+                "reconnects",
+                "host_downgrades",
             )
         )
 

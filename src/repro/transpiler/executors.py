@@ -959,6 +959,98 @@ def _load_shared(handle: PayloadHandle) -> object:
     return _load_payload(handle)
 
 
+def _materialise_payload(
+    handle: PayloadHandle, anchors: Sequence[object]
+) -> object:
+    """Deserialise a payload as a fully-owned copy — no segment views.
+
+    The dispatcher-side counterpart of :func:`_load_payload` for
+    payloads the dispatcher never held an object for (worker-parked
+    plan specs): every section is copied *out* of the segment before
+    unpickling, so the result stays valid after the segment is
+    unlinked — it becomes the replay source for transport downgrades
+    and degraded in-process execution.  A vanished segment raises
+    :class:`~repro.exceptions.TransportError`.
+    """
+    if handle.segment is None:
+        return _loads_anchored(handle.blob, anchors, handle.oob_buffers)
+    shm = _attach_segment(handle.segment)
+    try:
+        view = memoryview(shm.buf).toreadonly()
+        try:
+            if not handle.header:
+                return _loads_anchored(bytes(view[: handle.size]), anchors)
+            magic, count = struct.unpack_from("<8sQ", view, 0)
+            if magic != _OOB_MAGIC:
+                raise TranspilerError(
+                    f"segment {handle.segment!r} is not an out-of-band payload"
+                )
+            table = [
+                struct.unpack_from("<QQ", view, 16 + 16 * index)
+                for index in range(count)
+            ]
+            body_offset, body_size = table[0]
+            body = bytes(view[body_offset:body_offset + body_size])
+            buffers = [
+                bytes(view[offset:offset + size]) for offset, size in table[1:]
+            ]
+            return _loads_anchored(body, anchors, buffers)
+        finally:
+            view.release()
+    finally:
+        with contextlib.suppress(Exception):
+            shm.close()
+
+
+#: Anchor tuple of the dispatch session whose chunk is currently
+#: executing in this worker process (set by :func:`_run_session_chunk`,
+#: ``None`` outside one).  Pool workers run chunks one at a time on
+#: their main thread, so a plain module global suffices.
+_park_anchors: "Sequence[object] | None" = None
+
+
+def plan_park_enabled() -> bool:
+    """Whether executor-side planning parks planned specs worker-side.
+
+    With ``MIRAGE_PLAN_PARK=1``, a worker that plans a circuit
+    publishes the planned trial spec straight into a shared-memory
+    segment and returns only the :class:`PayloadHandle` ref — the
+    O(DAG)-bytes spec never rides the result pipe, and the parent
+    adopts the segment as the trial payload (pinned under the
+    ``plan_return_bytes`` dispatch counter).  Off by default: parking
+    trades the parent's retained payload object for a segment-backed
+    copy, so crash-recovery paths regenerate specs from the pipeline
+    state instead of reusing a parent reference — correct, but with
+    extra recovery work under worker-kill faults.  Checked per
+    dispatch like the other transport switches.
+    """
+    return os.environ.get("MIRAGE_PLAN_PARK", "").strip() not in ("", "0")
+
+
+def park_payload(obj: object) -> PayloadHandle | None:
+    """Publish ``obj`` from inside a worker, transferring ownership out.
+
+    Runs in a pool worker during a session chunk: the object is
+    published against the session anchors (persistent references, same
+    bytes the parent would have produced) and the fresh segment is
+    dropped from this worker's cleanup registry — the parent adopts it
+    via :meth:`_ShmDispatchSession.adopt_payload` when the chunk's
+    result arrives.  Returns ``None`` when parking is impossible — no
+    session context (in-process execution), shm disabled, or segment
+    creation failed — in which case the caller keeps the object inline.
+    """
+    anchors = _park_anchors
+    if anchors is None or not shm_transport_enabled():
+        return None
+    handle = _publish_object(obj, anchors)
+    if handle.segment is None:
+        # Segment creation failed: an inline handle would just re-ship
+        # the bytes parking exists to avoid.
+        return None
+    _created_segments.pop(handle.segment, None)
+    return handle
+
+
 def _check_deadline(deadline: float | None) -> None:
     """Raise :class:`DeadlineExceededError` once ``deadline`` has passed.
 
@@ -1038,7 +1130,7 @@ def _run_session_chunk(
     :class:`CorruptResult` markers skip the encode step so the parent
     can detect them without decoding.
     """
-    global _worker_bytes_copied
+    global _worker_bytes_copied, _park_anchors
     before = _worker_bytes_copied
     if faults is not None:
         faults.check_transport()
@@ -1047,7 +1139,11 @@ def _run_session_chunk(
     if anchor_handle is not None:
         anchors = _load_payload(anchor_handle)
     shared = _load_payload(payload_handle, anchor_handle)
-    results = _run_tasks(fn, shared, tasks, faults, deadline)
+    _park_anchors = anchors
+    try:
+        results = _run_tasks(fn, shared, tasks, faults, deadline)
+    finally:
+        _park_anchors = None
     if encode:
         results = [
             result
@@ -1424,6 +1520,7 @@ class _ShmDispatchSession(DispatchSession):
         self._anchors = tuple(anchors)
         self._handles: list[PayloadHandle | None] = []
         self._payload_objects: list[object] = []
+        self._payload_loaders: dict[int, Callable[[], object]] = {}
         self._segments: list[str] = []
         self._anchor_handle: PayloadHandle | None = None
         self._retry_lock = threading.Lock()
@@ -1447,6 +1544,16 @@ class _ShmDispatchSession(DispatchSession):
             )
         return handle
 
+    @property
+    def plan_park(self) -> bool:
+        """Whether the engine should park planned specs worker-side.
+
+        True only when ``MIRAGE_PLAN_PARK=1``: the shm transport can
+        adopt worker-published segments, but parking is opt-in — see
+        :func:`plan_park_enabled`.
+        """
+        return plan_park_enabled()
+
     def add_payload(self, payload: object, kind: str = "payload") -> int:
         handle = self._record(payload, self._anchors)
         self._handles.append(handle)
@@ -1457,12 +1564,70 @@ class _ShmDispatchSession(DispatchSession):
         self._count_payload(kind)
         return len(self._handles) - 1
 
+    def adopt_payload(
+        self,
+        handle: PayloadHandle,
+        kind: str = "payload",
+        loader: "Callable[[], object] | None" = None,
+    ) -> int:
+        """Adopt a worker-published payload as a session slot.
+
+        The counterpart of :func:`park_payload`: the worker already
+        published the payload into a segment and transferred ownership,
+        so the parent registers the segment for cleanup and exposes the
+        handle as a normal slot — without ever holding the payload
+        object.  The downgrade/degrade recovery paths, which need a
+        parent-side object, materialise a copy from the segment on
+        demand (:meth:`_payload_object`); ``loader`` optionally
+        regenerates the payload instead when the segment itself is the
+        casualty.
+        """
+        if handle.segment is not None:
+            _created_segments[handle.segment] = os.getpid()
+            self._segments.append(handle.segment)
+            self._executor._count_dispatch(
+                shm_segments=1, header_bytes=handle.header
+            )
+        self._handles.append(handle)
+        self._payload_objects.append(None)
+        slot = len(self._handles) - 1
+        if loader is not None:
+            self._payload_loaders[slot] = loader
+        self._count_payload(kind)
+        return slot
+
+    def _payload_object(self, slot: int) -> object | None:
+        """The parent-side payload object for ``slot``, created on demand.
+
+        ``add_payload`` slots return the retained reference directly.
+        Adopted (worker-parked) slots materialise a fully-owned copy
+        out of their segment on first use, falling back to the slot's
+        regeneration loader when the segment is gone.  Returns ``None``
+        for released slots.
+        """
+        payload = self._payload_objects[slot]
+        if payload is not None:
+            return payload
+        handle = self._handles[slot]
+        loader = self._payload_loaders.get(slot)
+        if handle is None:
+            return None
+        try:
+            payload = _materialise_payload(handle, self._anchors)
+        except TransportError:
+            if loader is None:
+                raise
+            payload = loader()
+        self._payload_objects[slot] = payload
+        return payload
+
     def release(self, slot: int) -> None:
         handle = self._handles[slot]
         if handle is None:
             return
         self._handles[slot] = None
         self._payload_objects[slot] = None
+        self._payload_loaders.pop(slot, None)
         if handle.segment is not None:
             with contextlib.suppress(ValueError):
                 self._segments.remove(handle.segment)
@@ -1617,9 +1782,14 @@ class _ShmDispatchSession(DispatchSession):
         already memoised the payload keep their mapping (POSIX semantics)
         and are unaffected.
         """
-        payload = self._payload_objects[slot]
         handle = self._handles[slot]
-        if payload is None or handle is None or handle.segment is None:
+        if handle is None or handle.segment is None:
+            return
+        try:
+            payload = self._payload_object(slot)
+        except TransportError:
+            payload = None
+        if payload is None:
             return
         blob = _dumps_anchored(payload, self._anchors)
         self._handles[slot] = PayloadHandle(
@@ -1653,7 +1823,7 @@ class _ShmDispatchSession(DispatchSession):
 
     def _run_degraded(self, record: _ChunkRecord) -> None:
         try:
-            payload = self._payload_objects[record.slot]
+            payload = self._payload_object(record.slot)
             if payload is None:
                 raise TranspilerError(
                     "payload slot released with chunks still in flight"
@@ -1816,12 +1986,21 @@ class TrialExecutor:
             "bytes_shipped": 0,
             "header_bytes": 0,
             "bytes_copied": 0,
+            # Bytes of encoded plan results that crossed the result
+            # pipe; worker-side plan park (MIRAGE_PLAN_PARK=1) shrinks
+            # this to O(ref) per circuit.
+            "plan_return_bytes": 0,
             # Fault-tolerance counters — all zero on a clean run.
             "retries": 0,
             "respawns": 0,
             "lost_tasks": 0,
             "executor_downgrades": 0,
             "transport_downgrades": 0,
+            # Remote-transport recovery counters — all zero on a clean
+            # run, and always zero on purely local executors.
+            "reconnects": 0,
+            "host_downgrades": 0,
+            "frames_garbled": 0,
             # Chunks abandoned at an expired request deadline — zero on
             # a clean run (and on any run without deadlines).
             "deadline_expirations": 0,
@@ -2328,10 +2507,16 @@ def resolve_executor(
     if isinstance(executor, TrialExecutor):
         return executor
     if isinstance(executor, str):
+        name = executor.lower()
+        if name == "remote":
+            # Imported lazily: the remote client builds on this module.
+            from repro.transpiler.remote.client import RemoteExecutor
+
+            return RemoteExecutor(max_streams=max_workers)
         try:
-            cls = EXECUTORS[executor.lower()]
+            cls = EXECUTORS[name]
         except KeyError:
-            known = ", ".join(sorted(set(EXECUTORS)))
+            known = ", ".join(sorted(set(EXECUTORS) | {"remote"}))
             raise TranspilerError(
                 f"unknown executor {executor!r} (known: {known})"
             ) from None

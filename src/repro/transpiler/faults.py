@@ -41,16 +41,33 @@ executor and transport.  This module is that harness:
   for a checksum mismatch — which the dispatcher detects and converts
   into :class:`CorruptResultError`, retrying the chunk.
 
-* :func:`reap_stale_segments` is the shared-memory janitor: it scans
-  ``/dev/shm`` for ``mirage_shm_<pid>_…`` segments whose creating
-  process is gone and unlinks them, reclaiming whatever a killed run
-  left behind.  The executor layer calls it after every pool respawn.
+* Four *network* kinds target the remote transport
+  (:mod:`repro.transpiler.remote`) rather than the local dispatcher:
+  ``drop_conn:chunk:N`` closes the client connection right after the
+  ``N``-th first-send chunk frame leaves, ``garble:frame:N`` flips a
+  byte inside the ``N``-th first-send chunk frame after its CRC was
+  stamped, ``partition:host:N`` makes the host at index ``N``
+  unreachable for the whole session, and ``slow_net:chunk:N`` makes
+  the host sit on the ``N``-th chunk for ``MIRAGE_FAULT_SLOW_SECONDS``
+  with its heartbeats suppressed — the deterministic way to exercise
+  heartbeat-timeout replay.  Like every other kind, network faults
+  target *first* dispatches only: replays travel disarmed.
+
+* :func:`reap_stale_segments` is the dispatch janitor: it scans
+  ``/dev/shm`` for ``mirage_shm_<pid>_…`` segments, and the temp
+  directory for ``mirage_host_<pid>_…`` worker-host socket files and
+  ``mirage_spool_<pid>_…`` payload spool directories, whose creating
+  process is gone, and removes them — reclaiming whatever a killed run
+  (or killed worker host) left behind.  The executor layer calls it
+  after every pool respawn; worker hosts call it at startup.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import shutil
+import tempfile
 import time
 from typing import Iterable
 
@@ -61,11 +78,30 @@ from repro.exceptions import TranspilerError, TransportError
 #: here too so this module never imports the executor layer).
 SEGMENT_PREFIX = "mirage_shm_"
 
+#: Prefix of worker-host Unix socket files (``mirage_host_<pid>_<token>``
+#: under the temp directory); kept in sync with
+#: :mod:`repro.transpiler.remote.protocol`.
+HOST_SOCKET_PREFIX = "mirage_host_"
+
+#: Prefix of worker-host payload spool directories
+#: (``mirage_spool_<pid>_<token>`` under the temp directory).
+SPOOL_PREFIX = "mirage_spool_"
+
 #: Actions a task fault may take, in the worker that draws the task.
 _TASK_ACTIONS = ("kill", "hang", "corrupt", "slow")
 
 #: Service-tier fault kinds: action → the stage name its ordinal counts.
 _SERVICE_ACTIONS = {"shed": "request", "trip_breaker": "window"}
+
+#: Network fault kinds: action → the stage name its ordinal counts.
+#: All of them are resolved client-side against *first* sends, so a
+#: replayed chunk can never re-trigger the fault that lost it.
+_NETWORK_ACTIONS = {
+    "drop_conn": "chunk",
+    "garble": "frame",
+    "partition": "host",
+    "slow_net": "chunk",
+}
 
 #: Exit status used by injected worker kills — distinctive in logs.
 KILL_EXIT_CODE = 86
@@ -216,8 +252,10 @@ class ChunkFaults:
 FAULT_PLAN_GRAMMAR = (
     "kind:stage:ordinal — one of "
     "'kill|hang|corrupt|slow:trial|plan:<ordinal>', "
-    "'corrupt_shm:<ordinal>', 'shed:request:<ordinal>' or "
-    "'trip_breaker:window:<ordinal>'"
+    "'corrupt_shm:<ordinal>', 'shed:request:<ordinal>', "
+    "'trip_breaker:window:<ordinal>', 'drop_conn:chunk:<ordinal>', "
+    "'garble:frame:<ordinal>', 'partition:host:<ordinal>' or "
+    "'slow_net:chunk:<ordinal>'"
 )
 
 
@@ -258,6 +296,12 @@ def parse_fault_plan(spec: str) -> "FaultPlan":
                     raise ValueError(kind)
                 entries.append(FaultSpec(action, kind, int(index)))
                 continue
+            if len(fields) == 3 and fields[0] in _NETWORK_ACTIONS:
+                action, kind, index = fields
+                if kind != _NETWORK_ACTIONS[action]:
+                    raise ValueError(kind)
+                entries.append(FaultSpec(action, kind, int(index)))
+                continue
             raise ValueError(part)
         except ValueError:
             raise TranspilerError(
@@ -283,11 +327,16 @@ class FaultPlan:
         self._service: dict[str, set[int]] = {
             action: set() for action in _SERVICE_ACTIONS
         }
+        self._network: dict[str, set[int]] = {
+            action: set() for action in _NETWORK_ACTIONS
+        }
         for spec in specs:
             if spec.action == "corrupt_shm":
                 self._corrupt_chunks.add(spec.index)
             elif spec.action in _SERVICE_ACTIONS:
                 self._service[spec.action].add(spec.index)
+            elif spec.action in _NETWORK_ACTIONS:
+                self._network[spec.action].add(spec.index)
             else:
                 self._by_kind[spec.kind][spec.index] = spec.action
 
@@ -296,6 +345,7 @@ class FaultPlan:
             self._corrupt_chunks
             or any(self._by_kind[kind] for kind in self._by_kind)
             or any(self._service[action] for action in self._service)
+            or any(self._network[action] for action in self._network)
         )
 
     def service_fault(self, action: str, ordinal: int) -> bool:
@@ -307,6 +357,21 @@ class FaultPlan:
         counters, mirroring how the dispatcher owns task ordinals.
         """
         return ordinal in self._service.get(action, ())
+
+    def network_fault(self, action: str, ordinal: int) -> bool:
+        """Whether a network fault of ``action`` targets this ordinal.
+
+        ``action`` is one of ``"drop_conn"``/``"slow_net"`` (queried
+        with the session's first-send chunk ordinal), ``"garble"``
+        (queried with the first-send chunk-frame ordinal — identical
+        numbering, counted at the socket write), or ``"partition"``
+        (queried with the host's index in the session's host list).
+        The remote client owns every one of these counters, mirroring
+        how the dispatcher owns task ordinals, so injected network
+        failures strike exact wire positions regardless of host
+        scheduling — and never strike a replay.
+        """
+        return ordinal in self._network.get(action, ())
 
     @classmethod
     def from_env(cls) -> "FaultPlan | None":
@@ -375,33 +440,47 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
-def reap_stale_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
-    """Unlink shared-memory segments whose creating process is dead.
+def _stale_owner(name: str, prefix: str) -> bool:
+    """Whether ``name`` is ``<prefix><pid>_…`` with a dead owner pid."""
+    if not name.startswith(prefix):
+        return False
+    pid_text = name[len(prefix):].split("_", 1)[0]
+    try:
+        pid = int(pid_text)
+    except ValueError:
+        return False
+    return not _pid_alive(pid)
 
-    Scans ``/dev/shm`` for names of the form ``<prefix><pid>_<token>``
-    and unlinks every segment whose embedded creator pid no longer names
-    a live process — the debris a killed dispatcher (or a worker that
-    died between publish and unlink) leaves behind.  Segments owned by
-    live processes, including this one, are never touched.  Returns the
-    reclaimed segment names; a no-op (empty list) on hosts without
-    ``/dev/shm``.
+
+def reap_stale_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Remove dispatch debris whose creating process is dead.
+
+    The full janitor behind every recovery path.  Three sweeps, all
+    keyed on the pid embedded in the resource name:
+
+    * ``/dev/shm`` — shared-memory segments ``<prefix><pid>_<token>``
+      left by a killed dispatcher, or by a worker that died between
+      publish and unlink;
+    * the temp directory — worker-host socket files
+      ``mirage_host_<pid>_<token>.sock`` left by a killed
+      ``mirage-worker-host``;
+    * the temp directory — remote payload spool directories
+      ``mirage_spool_<pid>_<token>`` of the same dead hosts.
+
+    Resources owned by live processes, including this one, are never
+    touched.  Returns the reclaimed names (segment names and basenames
+    of removed sockets/spools); the shm sweep is a no-op on hosts
+    without ``/dev/shm``.  The executor layer runs the janitor after
+    every pool respawn; worker hosts run it at startup.
     """
-    shm_root = "/dev/shm"
     reclaimed: list[str] = []
+    shm_root = "/dev/shm"
     try:
         names = os.listdir(shm_root)
     except OSError:
-        return reclaimed
+        names = []
     for name in names:
-        if not name.startswith(prefix):
-            continue
-        remainder = name[len(prefix):]
-        pid_text = remainder.split("_", 1)[0]
-        try:
-            pid = int(pid_text)
-        except ValueError:
-            continue
-        if _pid_alive(pid):
+        if not _stale_owner(name, prefix):
             continue
         try:
             os.unlink(os.path.join(shm_root, name))
@@ -410,4 +489,20 @@ def reap_stale_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
         except OSError:  # pragma: no cover - permissions on shared hosts
             continue
         reclaimed.append(name)
+    tmp_root = tempfile.gettempdir()
+    try:
+        tmp_names = os.listdir(tmp_root)
+    except OSError:  # pragma: no cover - unreadable tempdir
+        tmp_names = []
+    for name in tmp_names:
+        path = os.path.join(tmp_root, name)
+        if _stale_owner(name, HOST_SOCKET_PREFIX) and not os.path.isdir(path):
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - racing another janitor
+                continue
+            reclaimed.append(name)
+        elif _stale_owner(name, SPOOL_PREFIX) and os.path.isdir(path):
+            shutil.rmtree(path, ignore_errors=True)
+            reclaimed.append(name)
     return reclaimed

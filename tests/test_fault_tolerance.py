@@ -163,6 +163,34 @@ def test_fault_plan_parses_service_entries():
     assert faults.slows == (2,)
 
 
+def test_fault_plan_parses_network_entries():
+    plan = parse_fault_plan(
+        "drop_conn:chunk:2, garble:frame:0, partition:host:1, slow_net:chunk:4"
+    )
+    assert bool(plan)
+    assert plan.network_fault("drop_conn", 2)
+    assert not plan.network_fault("drop_conn", 1)
+    assert plan.network_fault("garble", 0)
+    assert plan.network_fault("partition", 1)
+    assert not plan.network_fault("partition", 0)
+    assert plan.network_fault("slow_net", 4)
+    # Network entries never leak into the task/chunk fault resolution.
+    assert plan.chunk_faults("trial", start=0, count=50, chunk_ordinal=2) is None
+
+
+@pytest.mark.parametrize("spec", [
+    "drop_conn:frame:1",     # drop_conn counts chunks, not frames
+    "garble:chunk:1",        # garble counts frames
+    "partition:chunk:0",     # partition targets host indices
+    "slow_net:host:0",       # slow_net counts chunks
+    "drop_conn:chunk",       # missing ordinal
+    "partition:host:x",      # non-integer ordinal
+])
+def test_fault_plan_rejects_bad_network_entries(spec):
+    with pytest.raises(TranspilerError, match="MIRAGE_FAULT_PLAN"):
+        parse_fault_plan(spec)
+
+
 def test_chunk_faults_fire_positionally():
     faults = ChunkFaults(
         kills=(1,), corrupts=(2,), dispatcher_pid=os.getpid()
@@ -499,6 +527,52 @@ def test_reaper_never_touches_live_segments():
 
 def test_reaper_ignores_foreign_names(tmp_path):
     assert reap_stale_segments(prefix="no_such_prefix_") == []
+
+
+def test_reaper_sweeps_dead_host_sockets_and_spools():
+    """The janitor reclaims socket files and spool dirs of dead hosts."""
+    import shutil
+    import subprocess
+    import sys
+    import tempfile
+
+    from repro.transpiler.faults import HOST_SOCKET_PREFIX, SPOOL_PREFIX
+
+    # Create host artefacts owned by a real, now-dead pid.
+    probe = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    dead_pid = int(probe.stdout)
+    tmp = tempfile.gettempdir()
+    socket_file = os.path.join(tmp, f"{HOST_SOCKET_PREFIX}{dead_pid}_t.sock")
+    spool_dir = os.path.join(tmp, f"{SPOOL_PREFIX}{dead_pid}_t")
+    open(socket_file, "w").close()
+    os.makedirs(spool_dir, exist_ok=True)
+    open(os.path.join(spool_dir, "payload"), "w").close()
+    # And artefacts owned by this live process, which must survive.
+    live_socket = os.path.join(
+        tmp, f"{HOST_SOCKET_PREFIX}{os.getpid()}_t.sock"
+    )
+    live_spool = os.path.join(tmp, f"{SPOOL_PREFIX}{os.getpid()}_t")
+    open(live_socket, "w").close()
+    os.makedirs(live_spool, exist_ok=True)
+    try:
+        reclaimed = reap_stale_segments()
+        assert os.path.basename(socket_file) in reclaimed
+        assert os.path.basename(spool_dir) in reclaimed
+        assert not os.path.exists(socket_file)
+        assert not os.path.exists(spool_dir)
+        assert os.path.exists(live_socket)
+        assert os.path.exists(live_spool)
+    finally:
+        for path in (socket_file, live_socket):
+            if os.path.exists(path):
+                os.unlink(path)
+        for path in (spool_dir, live_spool):
+            shutil.rmtree(path, ignore_errors=True)
 
 
 @needs_shm

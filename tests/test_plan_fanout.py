@@ -214,6 +214,63 @@ def test_plan_executor_pickles_coverage_once(monkeypatch):
     assert fanned.dispatch["shared_pickles"] == 1
 
 
+# ---------------------------------------------------------------------------
+# Worker-side plan park (MIRAGE_PLAN_PARK)
+# ---------------------------------------------------------------------------
+
+
+@needs_shm
+def test_plan_park_digest_identical_and_returns_shrink(monkeypatch):
+    """Parking the planned spec worker-side keeps outputs byte-identical
+    while the plan return path carries the spec handle instead of the
+    spec — pinned by ``plan_return_bytes``."""
+    with ProcessExecutor(max_workers=2) as executor:
+        unparked = _batch(executor, scheduler="stream", plan="executor")
+    assert _digest(unparked) == REFERENCE_DIGEST
+    monkeypatch.setenv("MIRAGE_PLAN_PARK", "1")
+    with ProcessExecutor(max_workers=2) as executor:
+        parked = _batch(executor, scheduler="stream", plan="executor")
+    assert _digest(parked) == REFERENCE_DIGEST
+    assert 0 < parked.dispatch["plan_return_bytes"]
+    assert (
+        parked.dispatch["plan_return_bytes"]
+        < unparked.dispatch["plan_return_bytes"]
+    )
+    assert _own_segments() == []
+
+
+def test_plan_park_is_off_by_default():
+    from repro.transpiler import plan_park_enabled
+
+    assert not plan_park_enabled()
+
+
+@needs_shm
+def test_plan_park_survives_vanished_segment(monkeypatch):
+    """If an adopted parked segment vanishes before its trials load,
+    the parent regenerates the identical spec via the loader."""
+    from repro.transpiler import executors as executors_mod
+
+    monkeypatch.setenv("MIRAGE_PLAN_PARK", "1")
+    original = executors_mod._ShmDispatchSession.adopt_payload
+
+    def sabotaging_adopt(self, handle, kind="payload", loader=None):
+        slot = original(self, handle, kind=kind, loader=loader)
+        # Unlink the worker-parked segment immediately: every read of
+        # this payload must fall back to the regeneration loader.
+        if handle.segment is not None:
+            executors_mod._unlink_segment(handle.segment)
+        return slot
+
+    monkeypatch.setattr(
+        executors_mod._ShmDispatchSession, "adopt_payload", sabotaging_adopt
+    )
+    with ProcessExecutor(max_workers=2) as executor:
+        fanned = _batch(executor, scheduler="stream", plan="executor")
+    assert _digest(fanned) == REFERENCE_DIGEST
+    assert _own_segments() == []
+
+
 def test_plan_executor_handles_vf2_embedded_circuits():
     circuits = [ghz(4), qft(4), ghz(3)]
     kwargs = dict(coverage=COVERAGE, layout_trials=2, seed=5)

@@ -90,6 +90,24 @@ PUBLIC_API = [
     ("repro.exceptions", "ServiceClosedError"),
     ("repro.exceptions", "DeadlineExceededError"),
     ("repro.transpiler.faults", "FaultPlan.service_fault"),
+    ("repro.transpiler.faults", "FaultPlan.network_fault"),
+    ("repro.transpiler.remote.client", "RemoteExecutor"),
+    ("repro.transpiler.remote.client", "RemoteExecutor.prewarm"),
+    ("repro.transpiler.remote.client", "RemoteExecutor.host_meta"),
+    ("repro.transpiler.remote.host", "WorkerHost"),
+    ("repro.transpiler.remote.host", "WorkerHost.serve_forever"),
+    ("repro.transpiler.remote.protocol", "HostAddress"),
+    ("repro.transpiler.remote.protocol", "FrameReader"),
+    ("repro.transpiler.remote.protocol", "write_frame"),
+    ("repro.transpiler.remote.protocol", "read_frame"),
+    ("repro.transpiler.remote.protocol", "parse_hosts"),
+    ("repro.transpiler.remote.protocol", "remote_heartbeat_s"),
+    ("repro.transpiler.executors", "plan_park_enabled"),
+    ("repro.transpiler.executors", "park_payload"),
+    ("repro.core.pipeline", "run_plan_parked"),
+    ("repro.exceptions", "RemoteTransportError"),
+    ("repro.exceptions", "GarbledFrameError"),
+    ("repro.exceptions", "ProtocolVersionError"),
 ]
 
 #: Subset that must keep numpy-style section headers.
